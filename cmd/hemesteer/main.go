@@ -1,0 +1,115 @@
+// Command hemesteer is the steering client of Fig. 2: it connects to a
+// running hemesim, fetches status and rendered images, and changes
+// simulation parameters live.
+//
+//	hemesteer -addr 127.0.0.1:7766 status
+//	hemesteer -addr 127.0.0.1:7766 image -out frame.png -mode streamlines
+//	hemesteer -addr 127.0.0.1:7766 set-iolet -iolet 0 -density 1.02
+//	hemesteer -addr 127.0.0.1:7766 pause|resume|quit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/field"
+	"repro/internal/insitu"
+	"repro/internal/steering"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7766", "steering server address")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: hemesteer -addr HOST:PORT <status|image|set-iolet|pause|resume|quit> [flags]")
+		os.Exit(2)
+	}
+	cl, err := steering.Dial(*addr)
+	if err != nil {
+		fail(err)
+	}
+	defer cl.Close()
+
+	cmd := flag.Arg(0)
+	rest := flag.Args()[1:]
+	switch cmd {
+	case "status":
+		st, err := cl.Status()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("step:        %d / %d\n", st.Step, st.TotalSteps)
+		fmt.Printf("sites:       %d on %d ranks\n", st.NumSites, st.Ranks)
+		fmt.Printf("rate:        %.3g site-updates/s\n", st.SitesPerSec)
+		fmt.Printf("remaining:   %.1fs (estimate)\n", st.RemainingSec)
+		fmt.Printf("paused:      %v\n", st.Paused)
+		fmt.Printf("comm:        %d bytes, per-rank imbalance %.2f\n", st.CommBytes, st.LoadImbalance)
+	case "image":
+		fs := flag.NewFlagSet("image", flag.ExitOnError)
+		out := fs.String("out", "frame.png", "output PNG file")
+		w := fs.Int("w", 256, "width")
+		h := fs.Int("h", 192, "height")
+		mode := fs.String("mode", "volume", "volume, streamlines, lic")
+		az := fs.Float64("azimuth", 0.5, "camera azimuth (rad)")
+		el := fs.Float64("elevation", 0.3, "camera elevation (rad)")
+		if err := fs.Parse(rest); err != nil {
+			fail(err)
+		}
+		req := insitu.DefaultRequest()
+		req.W, req.H = *w, *h
+		req.Azimuth, req.Elevation = *az, *el
+		req.Scalar = field.ScalarSpeed
+		switch *mode {
+		case "volume":
+			req.Mode = insitu.ModeVolume
+		case "streamlines":
+			req.Mode = insitu.ModeStreamlines
+		case "lic":
+			req.Mode = insitu.ModeLIC
+		default:
+			fail(fmt.Errorf("unknown mode %q", *mode))
+		}
+		png, gw, gh, err := cl.RequestImage(req)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*out, png, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%dx%d, %d bytes)\n", *out, gw, gh, len(png))
+	case "set-iolet":
+		fs := flag.NewFlagSet("set-iolet", flag.ExitOnError)
+		iolet := fs.Int("iolet", 0, "iolet index")
+		density := fs.Float64("density", 1.01, "imposed boundary density")
+		if err := fs.Parse(rest); err != nil {
+			fail(err)
+		}
+		if err := cl.SetIoletDensity(*iolet, *density); err != nil {
+			fail(err)
+		}
+		fmt.Printf("iolet %d density set to %g\n", *iolet, *density)
+	case "pause":
+		if err := cl.Pause(); err != nil {
+			fail(err)
+		}
+		fmt.Println("paused")
+	case "resume":
+		if err := cl.Resume(); err != nil {
+			fail(err)
+		}
+		fmt.Println("resumed")
+	case "quit":
+		if err := cl.Quit(); err != nil {
+			fail(err)
+		}
+		fmt.Println("simulation asked to quit")
+	default:
+		fail(fmt.Errorf("unknown command %q", cmd))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hemesteer:", err)
+	os.Exit(1)
+}

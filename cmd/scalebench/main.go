@@ -1,0 +1,98 @@
+// Command scalebench reproduces the scaling study (E7, the §II
+// reference to Groen et al.'s 32k-core HemeLB runs): strong and weak
+// scaling of the distributed sparse LBM solver over simulated ranks,
+// with exactly counted halo communication and a modelled interconnect.
+// It also prints the pre-processing sweeps: the two-level geometry
+// read (E8), the partitioner comparison, and viz-aware repartitioning
+// (E9), plus the multi-resolution reduction table (E10).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	ranksFlag := flag.String("ranks", "1,2,4,8,16,32,64", "rank counts to sweep")
+	steps := flag.Int("steps", 20, "solver steps per point")
+	scale := flag.Float64("scale", 1.2, "geometry scale")
+	weak := flag.Bool("weak", true, "also run weak scaling")
+	pre := flag.Bool("pre", true, "also run pre-processing sweeps (E8/E9/E10)")
+	flag.Parse()
+
+	var ranks []int
+	for _, s := range strings.Split(*ranksFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scalebench: bad rank count:", s)
+			os.Exit(2)
+		}
+		ranks = append(ranks, v)
+	}
+	cfg := experiments.ScalingConfig{RankCounts: ranks, Steps: *steps, Scale: *scale}
+
+	fmt.Println("== E7: strong scaling ==")
+	rows, err := experiments.StrongScaling(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(experiments.FormatScaling(rows, false))
+
+	if *weak {
+		fmt.Println()
+		fmt.Println("== E7: weak scaling ==")
+		wcfg := cfg
+		if len(wcfg.RankCounts) > 4 {
+			wcfg.RankCounts = wcfg.RankCounts[:4] // weak sweep grows the domain
+		}
+		wrows, err := experiments.WeakScaling(wcfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatScaling(wrows, true))
+	}
+
+	if *pre {
+		fmt.Println()
+		fmt.Println("== E8: two-level geometry read (reader-subset sweep) ==")
+		grows, err := experiments.GmyReadSweep(8, []int{1, 2, 4, 8})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatGmyRead(grows))
+
+		fmt.Println()
+		fmt.Println("== partitioner comparison (ParMETIS role) ==")
+		prows, err := experiments.PartitionerComparison(8, *scale)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatPartitioners(prows))
+
+		fmt.Println()
+		fmt.Println("== E9: visualisation-aware repartitioning ==")
+		rrows, err := experiments.RepartitionSweep(8, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatRepartition(rrows))
+
+		fmt.Println()
+		fmt.Println("== E10: multi-resolution reduction ==")
+		mrows, err := experiments.MultiresSweep()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatMultires(mrows))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "scalebench:", err)
+	os.Exit(1)
+}

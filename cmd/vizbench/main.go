@@ -1,0 +1,53 @@
+// Command vizbench regenerates the paper's Table I: the comparison of
+// the four in situ visualisation techniques (volume rendering, line
+// integrals, particle tracing, LIC) on communication cost, load
+// balance and ease of parallelisation, measured on simulated ranks
+// over a developed aneurysm flow. It also prints the Fig. 3 pipeline
+// stage timings (E4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 8, "simulated MPI ranks")
+	w := flag.Int("w", 96, "image width")
+	h := flag.Int("h", 72, "image height")
+	steps := flag.Int("steps", 400, "flow development steps")
+	seeds := flag.Int("seeds", 16, "line/particle seeds")
+	trace := flag.Int("trace", 120, "particle tracer steps")
+	scale := flag.Float64("scale", 1.0, "geometry scale")
+	pipeline := flag.Bool("pipeline", true, "also print Fig. 3 pipeline stage timings")
+	flag.Parse()
+
+	fmt.Println("== Table I: visualisation techniques at scale (E1) ==")
+	rows, err := experiments.TableI(experiments.TableIConfig{
+		Ranks: *ranks, ImageW: *w, ImageH: *h,
+		Steps: *steps, Seeds: *seeds, TraceSteps: *trace, Scale: *scale,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vizbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.FormatTableI(rows))
+	fmt.Println()
+	fmt.Println("reading the table: 'comm bytes' at base scale, 'comm@2.4x' on a ~2.4x-larger")
+	fmt.Println("domain; flat growth = image-bound (paper: low), rising growth = data-bound")
+	fmt.Println("(paper: high). 'messages' shows per-step synchronisation frequency.")
+
+	if *pipeline {
+		fmt.Println()
+		fmt.Println("== Fig. 3: in situ pipeline stage timings (E4) ==")
+		prs, err := experiments.PipelineTiming(*steps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vizbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatPipeline(prs))
+	}
+}

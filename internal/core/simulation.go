@@ -1,0 +1,559 @@
+// Package core wires the whole co-design architecture of Fig. 2
+// together: pre-processing (geometry → initial balance → partitioner →
+// distribution), the distributed sparse LBM simulation, the in situ
+// post-processing pipeline and the steering loop, with optional
+// visualisation-aware repartitioning mid-run — the paper's closed
+// loop from pre-processing over simulation and concurrent
+// post-processing to a user interface for steering.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/geometry"
+	"repro/internal/insitu"
+	"repro/internal/lattice"
+	"repro/internal/lb"
+	"repro/internal/octree"
+	"repro/internal/par"
+	"repro/internal/partition"
+	"repro/internal/render"
+	"repro/internal/stats"
+	"repro/internal/steering"
+	"repro/internal/vec"
+	"repro/internal/viz"
+)
+
+// Config assembles a simulation run.
+type Config struct {
+	// Vessel geometry; voxelised at spacing H.
+	Vessel *geometry.Vessel
+	H      float64
+	// Tau is the BGK relaxation time.
+	Tau float64
+	// Ranks is the number of simulated MPI ranks (default 1).
+	Ranks int
+	// Method selects the domain-decomposition algorithm (default
+	// multilevel, the ParMETIS role).
+	Method partition.Method
+	// VizEvery runs the in situ pipeline every N steps (0 disables).
+	VizEvery int
+	// VizRequest is the unattended render request (DefaultRequest when
+	// zero).
+	VizRequest insitu.Request
+	// VizWeightAlpha adds visualisation cost into the balance equation
+	// when repartitioning (section IV-B extension).
+	VizWeightAlpha float64
+	// RepartitionAt triggers a viz-aware repartition at that step
+	// (0 disables).
+	RepartitionAt int
+	// SteerAddr enables the steering server on that address
+	// (e.g. "127.0.0.1:0").
+	SteerAddr string
+	// PulseAmp/PulsePeriod add a sinusoidal modulation to the first
+	// inlet (cardiac waveform; 0 amplitude = steady).
+	PulseAmp    float64
+	PulsePeriod float64
+	// Seed makes partitioning deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks == 0 {
+		c.Ranks = 1
+	}
+	if c.Method == "" {
+		c.Method = partition.MethodMultilevel
+	}
+	if c.VizRequest.W == 0 {
+		c.VizRequest = insitu.DefaultRequest()
+	}
+	return c
+}
+
+// Simulation is a configured, pre-processed run.
+type Simulation struct {
+	Cfg    Config
+	Dom    *geometry.Domain
+	Graph  *partition.Graph
+	Part   *partition.Partition
+	RT     *par.Runtime
+	Server *steering.Server
+
+	// Results populated by Run.
+	LastImage   *render.Image
+	LastResult  *insitu.Result
+	StepsDone   int
+	Elapsed     time.Duration
+	HaloBytes   int64
+	Imbalance   float64
+	Repartition *RepartitionReport
+
+	// pendingImage / pendingData hold steering requests awaiting the
+	// next collective operation; only rank 0's goroutine touches them.
+	pendingImage []*steering.Op
+	pendingData  []*steering.Op
+}
+
+// RepartitionReport records the E9 observables of a mid-run rebalance.
+type RepartitionReport struct {
+	Step            int
+	ImbalanceBefore float64
+	ImbalanceAfter  float64
+	Migrated        int
+}
+
+// New performs the pre-processing phase: voxelise the vessel, build the
+// site graph, partition it and set up the rank runtime. This is the
+// IV-B sequence (read geometry → partition for the fluid calculation →
+// fixed distribution), with the viz-weight and repartition extensions
+// available at Run time.
+func New(cfg Config) (*Simulation, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Vessel == nil {
+		return nil, fmt.Errorf("core: vessel required")
+	}
+	if cfg.H <= 0 {
+		return nil, fmt.Errorf("core: lattice spacing must be positive")
+	}
+	if cfg.Tau <= 0.5 {
+		return nil, fmt.Errorf("core: tau must exceed 0.5")
+	}
+	dom, err := geometry.Voxelise(cfg.Vessel, cfg.H, lattice.D3Q19())
+	if err != nil {
+		return nil, err
+	}
+	g := partition.FromDomain(dom)
+	p, err := partition.ByMethod(cfg.Method, g, cfg.Ranks, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulation{
+		Cfg:   cfg,
+		Dom:   dom,
+		Graph: g,
+		Part:  p,
+		RT:    par.NewRuntime(cfg.Ranks),
+	}
+	if cfg.SteerAddr != "" {
+		srv, err := steering.Serve(cfg.SteerAddr)
+		if err != nil {
+			return nil, err
+		}
+		s.Server = srv
+	}
+	return s, nil
+}
+
+// Close releases the steering listener.
+func (s *Simulation) Close() {
+	if s.Server != nil {
+		s.Server.Close()
+		s.Server = nil
+	}
+}
+
+// Run advances the simulation by totalSteps, servicing in situ
+// visualisation and steering along the way. It blocks until all ranks
+// finish (or a steering client sends quit).
+func (s *Simulation) Run(totalSteps int) error {
+	cfg := s.Cfg
+	start := time.Now()
+	var rank0Err error
+
+	s.RT.Run(func(c *par.Comm) {
+		// Each rank tracks the current partition locally; repartitioning
+		// replaces it collectively (rank 0 computes, everyone receives).
+		myPart := s.Part
+		d, err := lb.NewDist(c, s.Dom, myPart, lb.Params{Tau: cfg.Tau})
+		if err != nil {
+			panic(err)
+		}
+		if cfg.PulseAmp != 0 {
+			// Attach the cardiac pulse to the first inlet.
+			for k, io := range s.Dom.Iolets {
+				if io.IsInlet {
+					period := cfg.PulsePeriod
+					if period <= 0 {
+						period = 400
+					}
+					if err := d.SetPulse(k, &lb.Pulse{Amp: cfg.PulseAmp, Period: period}); err != nil {
+						panic(err)
+					}
+					break
+				}
+			}
+		}
+		master := c.Rank() == 0
+		req := cfg.VizRequest
+		paused := false
+		quit := false
+		var stepTimer stats.Timer
+
+		for step := 0; step < totalSteps && !quit; step++ {
+			// Steering commands are handled at viz boundaries and while
+			// paused; all ranks must agree, so rank 0 broadcasts a
+			// command word each viz interval.
+			if !paused {
+				stepTimer.Start()
+				d.Step()
+				stepTimer.Stop()
+			} else {
+				step-- // don't consume steps while paused
+			}
+
+			// Visualisation-aware repartitioning (E9).
+			if cfg.RepartitionAt > 0 && d.StepCount() == cfg.RepartitionAt {
+				nd, newPart, rep, err := s.repartition(c, d, myPart)
+				if err != nil {
+					panic(err)
+				}
+				d = nd
+				myPart = newPart
+				if master {
+					s.Repartition = rep
+				}
+			}
+
+			vizDue := cfg.VizEvery > 0 && d.StepCount()%cfg.VizEvery == 0 && !paused
+			steerDue := s.Server != nil && (vizDue || paused || step%16 == 0)
+			if !vizDue && !steerDue {
+				continue
+			}
+
+			// Rank 0 decides the actions this boundary; others follow.
+			// Command word: [doViz, doQuit, doPause, doResume, ioletIdx+1, density,
+			//                az, el, dist, w, h, mode, scalar,
+			//                doData, roi min xyz, roi max xyz, detail, context]
+			cmd := make([]float64, 22)
+			if master {
+				if vizDue {
+					cmd[0] = 1
+				}
+				if s.Server != nil {
+					for {
+						var op *steering.Op
+						if paused {
+							op = s.Server.PollWait()
+						} else {
+							op = s.Server.Poll()
+						}
+						if op == nil {
+							break
+						}
+						switch op.Msg.Op {
+						case steering.OpQuit:
+							cmd[1] = 1
+							op.Reply(steering.ServerMsg{Op: steering.OpQuit})
+						case steering.OpPause:
+							cmd[2] = 1
+							op.Reply(steering.ServerMsg{Op: steering.OpPause})
+						case steering.OpResume:
+							cmd[3] = 1
+							op.Reply(steering.ServerMsg{Op: steering.OpResume})
+						case steering.OpSetIolet:
+							cmd[4] = float64(op.Msg.Iolet + 1)
+							cmd[5] = op.Msg.Density
+							op.Reply(steering.ServerMsg{Op: steering.OpSetIolet})
+						case steering.OpSetROI:
+							req.ROI = vec.NewBox(
+								vec.New(op.Msg.ROIMin[0], op.Msg.ROIMin[1], op.Msg.ROIMin[2]),
+								vec.New(op.Msg.ROIMax[0], op.Msg.ROIMax[1], op.Msg.ROIMax[2]))
+							req.DetailLevel = op.Msg.Detail
+							req.ContextLevel = op.Msg.Context
+							op.Reply(steering.ServerMsg{Op: steering.OpSetROI})
+						case steering.OpStatus:
+							op.Reply(steering.ServerMsg{Op: steering.OpStatus, Status: s.status(c, d, &stepTimer, totalSteps, paused)})
+						case steering.OpImage:
+							if op.Msg.Request != nil {
+								req = *op.Msg.Request
+							}
+							cmd[0] = 1 // render this boundary
+							// Image is produced after the collective
+							// render below; stash the op.
+							s.pendingImage = append(s.pendingImage, op)
+						case steering.OpData:
+							cmd[13] = 1
+							for a := 0; a < 3; a++ {
+								cmd[14+a] = [3]float64(op.Msg.ROIMin)[a]
+								cmd[17+a] = [3]float64(op.Msg.ROIMax)[a]
+							}
+							cmd[20] = float64(op.Msg.Detail)
+							cmd[21] = float64(op.Msg.Context)
+							s.pendingData = append(s.pendingData, op)
+						default:
+							op.Reply(steering.ServerMsg{Op: op.Msg.Op, Error: "unknown op"})
+						}
+						// Leave the poll loop once an action requiring
+						// the collective path is queued: quit, resume,
+						// a render or a data request (otherwise a
+						// paused client awaiting a reply would
+						// deadlock).
+						if cmd[1] == 1 || cmd[0] == 1 || cmd[13] == 1 || (paused && cmd[3] == 1) {
+							break
+						}
+					}
+				}
+				cmd[6], cmd[7], cmd[8] = req.Azimuth, req.Elevation, req.DistFactor
+				cmd[9], cmd[10] = float64(req.W), float64(req.H)
+				cmd[11], cmd[12] = float64(req.Mode), float64(req.Scalar)
+			}
+			cmd = c.BcastF64(0, cmd)
+			if cmd[1] == 1 {
+				quit = true
+			}
+			if cmd[2] == 1 {
+				paused = true
+			}
+			if cmd[3] == 1 {
+				paused = false
+			}
+			if cmd[4] > 0 {
+				if err := d.SetIoletDensity(int(cmd[4])-1, cmd[5]); err != nil && master {
+					rank0Err = err
+				}
+			}
+			if cmd[0] == 1 {
+				img := s.renderDistributed(c, d, reqFromCmd(req, cmd), myPart)
+				if master && img != nil {
+					s.LastImage = img
+					for _, op := range s.pendingImage {
+						rep := steering.ServerMsg{Op: steering.OpImage, W: img.W, H: img.H}
+						rep.PNG = encodePNG(img)
+						op.Reply(rep)
+					}
+					s.pendingImage = nil
+				}
+			}
+			if cmd[13] == 1 {
+				// Collective gather of the fields; rank 0 builds the
+				// §V reduced representation and replies.
+				rho, ux, uy, uz := d.GatherFields(0)
+				if master {
+					payload, derr := s.reducedData(rho, ux, uy, uz,
+						vec.New(cmd[14], cmd[15], cmd[16]),
+						vec.New(cmd[17], cmd[18], cmd[19]),
+						int(cmd[20]), int(cmd[21]))
+					for _, op := range s.pendingData {
+						if derr != nil {
+							op.Reply(steering.ServerMsg{Op: steering.OpData, Error: derr.Error()})
+							continue
+						}
+						op.Reply(steering.ServerMsg{Op: steering.OpData, Nodes: payload})
+					}
+					s.pendingData = nil
+				}
+			}
+
+		}
+		if master {
+			s.Part = myPart
+			s.StepsDone = d.StepCount()
+			per := make([]float64, c.Size())
+			counts := c.GatherInts(0, []int{d.NumOwned()})
+			for r, v := range counts {
+				per[r] = float64(v[0])
+			}
+			s.Imbalance = stats.Imbalance(per)
+		} else {
+			c.GatherInts(0, []int{d.NumOwned()})
+		}
+	})
+	s.Elapsed = time.Since(start)
+	s.HaloBytes = s.RT.Traffic().Bytes()
+	return rank0Err
+}
+
+// encodePNG renders an image to PNG bytes; returns nil on failure (the
+// steering client treats an empty PNG as an error).
+func encodePNG(img *render.Image) []byte {
+	var buf bytes.Buffer
+	if err := img.EncodePNG(&buf); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+func reqFromCmd(req insitu.Request, cmd []float64) insitu.Request {
+	req.Azimuth, req.Elevation, req.DistFactor = cmd[6], cmd[7], cmd[8]
+	if cmd[9] > 0 {
+		req.W, req.H = int(cmd[9]), int(cmd[10])
+	}
+	req.Mode = insitu.Mode(int(cmd[11]))
+	req.Scalar = field.Scalar(int(cmd[12]))
+	if req.W == 0 {
+		req.W, req.H = 128, 96
+	}
+	return req
+}
+
+// renderDistributed extracts this rank's fields and runs the
+// distributed render for the request; returns the merged image on rank
+// 0, nil elsewhere.
+func (s *Simulation) renderDistributed(c *par.Comm, d *lb.Dist, req insitu.Request, part *partition.Partition) *render.Image {
+	f := s.localField(c, d, part)
+	dims := s.Dom.Dims
+	center := vec.New(float64(dims.X)/2, float64(dims.Y)/2, float64(dims.Z)/2)
+	radius := float64(dims.Z) * req.DistFactor
+	if radius == 0 {
+		radius = 40
+	}
+	cam := vec.Orbit(center, radius, req.Azimuth, req.Elevation, 40, float64(req.W)/float64(req.H))
+	// Auto-range the transfer function collectively.
+	localMax := f.MaxScalar(req.Scalar)
+	globalMax := c.AllreduceScalar(par.OpMax, localMax)
+	if globalMax == 0 {
+		globalMax = 1e-6
+	}
+	tf := render.BlueRed(0, globalMax)
+	switch req.Mode {
+	case insitu.ModeStreamlines:
+		seeds := viz.SeedsAcrossInlet(s.Dom, 12)
+		lines, err := viz.TraceStreamlinesDist(c, f, part.Parts, viz.LineOptions{
+			Seeds: seeds, MaxSteps: 400, Dt: 0.5,
+		})
+		if err != nil || lines == nil {
+			return nil
+		}
+		img, err := viz.RenderLines(lines, cam, req.W, req.H, tf)
+		if err != nil {
+			return nil
+		}
+		return img
+	case insitu.ModeLIC:
+		img, err := viz.LICDist(c, f, part.Parts, viz.AxialSlice(dims), viz.LICOptions{W: req.W, H: req.H})
+		if err != nil {
+			return nil
+		}
+		return img
+	default:
+		img, err := viz.RenderVolumeDist(c, f, viz.VolumeOptions{
+			W: req.W, H: req.H, Camera: cam, TF: tf, Scalar: req.Scalar,
+		})
+		if err != nil {
+			return nil
+		}
+		return img
+	}
+}
+
+// localField builds this rank's partial field view over global arrays.
+func (s *Simulation) localField(c *par.Comm, d *lb.Dist, part *partition.Partition) *field.Field {
+	n := s.Dom.NumSites()
+	f := &field.Field{
+		Dom:   s.Dom,
+		Rho:   make([]float64, n),
+		Ux:    make([]float64, n),
+		Uy:    make([]float64, n),
+		Uz:    make([]float64, n),
+		Owned: field.OwnedMask(part.Parts, c.Rank()),
+	}
+	for li, g := range d.Owned {
+		f.Rho[g] = d.Density(li)
+		f.Ux[g], f.Uy[g], f.Uz[g] = d.Velocity(li)
+	}
+	return f
+}
+
+// repartition adds visualisation cost to the balance equation and
+// rebalances the decomposition, migrating solver state. Rank 0 computes
+// the new partition (it owns the graph) and broadcasts the assignment;
+// all ranks then migrate populations collectively.
+func (s *Simulation) repartition(c *par.Comm, d *lb.Dist, cur *partition.Partition) (*lb.Dist, *partition.Partition, *RepartitionReport, error) {
+	var rep *RepartitionReport
+	var partsWire []int
+	if c.Rank() == 0 {
+		// Viz cost model: sites inside the current ROI (or the whole
+		// domain) cost extra in proportion to VizWeightAlpha.
+		roi := s.Cfg.VizRequest.ROI
+		vizCost := make([]float64, s.Dom.NumSites())
+		for i, site := range s.Dom.Sites {
+			p := site.Pos.F()
+			if roi.Size().Len2() == 0 || roi.Contains(p) {
+				vizCost[i] = 1
+			}
+		}
+		imbBefore := cur.Imbalance(s.Graph)
+		if err := s.Graph.ApplyVizWeights(vizCost, s.Cfg.VizWeightAlpha); err != nil {
+			panic(err)
+		}
+		newPart, err := partition.Repartition(s.Graph, cur, 1.05, s.Cfg.Seed)
+		if err != nil {
+			panic(err)
+		}
+		rep = &RepartitionReport{
+			Step:            d.StepCount(),
+			ImbalanceBefore: imbBefore,
+			ImbalanceAfter:  newPart.Imbalance(s.Graph),
+			Migrated:        partition.MigrationVolume(cur, newPart),
+		}
+		partsWire = make([]int, len(newPart.Parts))
+		for i, p := range newPart.Parts {
+			partsWire[i] = int(p)
+		}
+	}
+	partsWire = c.BcastInts(0, partsWire)
+	newPart := &partition.Partition{K: c.Size(), Parts: make([]int32, len(partsWire))}
+	for i, p := range partsWire {
+		newPart.Parts[i] = int32(p)
+	}
+	nd, err := d.Redistribute(newPart)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return nd, newPart, rep, nil
+}
+
+// reducedData builds the §V octree over gathered fields and encodes
+// the context+detail cover of the requested ROI.
+func (s *Simulation) reducedData(rho, ux, uy, uz []float64, roiMin, roiMax vec.V3, detail, ctx int) ([]byte, error) {
+	tree, err := octree.Build(s.Dom, octree.Fields{Rho: rho, Ux: ux, Uy: uy, Uz: uz})
+	if err != nil {
+		return nil, err
+	}
+	if ctx >= tree.Depth() {
+		ctx = tree.Depth() - 1
+	}
+	if detail < 0 {
+		detail = 0
+	}
+	if detail > ctx {
+		detail = ctx
+	}
+	box := vec.NewBox(roiMin, roiMax)
+	if box.Size().Len2() == 0 {
+		box = vec.NewBox(vec.New(0, 0, 0), s.Dom.Dims.F())
+	}
+	nodes, err := tree.Query(octree.ROI{Box: box, DetailLevel: detail, ContextLevel: ctx})
+	if err != nil {
+		return nil, err
+	}
+	return octree.EncodeNodes(nodes), nil
+}
+
+// status assembles the steering status report.
+func (s *Simulation) status(c *par.Comm, d *lb.Dist, timer *stats.Timer, totalSteps int, paused bool) *steering.Status {
+	stepsDone := d.StepCount()
+	rate := 0.0
+	if timer.Count() > 0 && timer.Mean() > 0 {
+		rate = float64(d.NumOwned()) / timer.Mean().Seconds() * float64(c.Size())
+	}
+	remaining := 0.0
+	if timer.Count() > 0 {
+		remaining = timer.Mean().Seconds() * float64(totalSteps-stepsDone)
+	}
+	return &steering.Status{
+		Step:          stepsDone,
+		TotalSteps:    totalSteps,
+		NumSites:      s.Dom.NumSites(),
+		Ranks:         c.Size(),
+		SitesPerSec:   rate,
+		RemainingSec:  remaining,
+		Paused:        paused,
+		CommBytes:     s.RT.Traffic().Bytes(),
+		LoadImbalance: stats.ImbalanceI64(s.RT.Traffic().PerRankBytes()),
+	}
+}

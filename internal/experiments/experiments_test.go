@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// Small configurations keep these integration tests fast; the full
+// parameters run in the benches and CLIs.
+
+func TestTableIShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	rows, err := TableI(TableIConfig{Ranks: 4, ImageW: 48, ImageH: 36, Steps: 200, Seeds: 8, TraceSteps: 60, Scale: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]TableIRow{}
+	for _, r := range rows {
+		byName[r.Technique] = r
+	}
+	vol := byName["volume-rendering"]
+	lines := byName["line-integrals"]
+	parts := byName["particle-tracing"]
+	lic := byName["lic"]
+	// The table's ordering claims, quantified on stable observables:
+	// (1) message frequency — particle methods message every step
+	// (§IV-D "frequent search between cells"), line integrals per
+	// crossing round, compositing/tile methods once per frame;
+	if !(parts.Messages > lines.Messages) {
+		t.Errorf("particle msgs %d should exceed line msgs %d", parts.Messages, lines.Messages)
+	}
+	if !(lines.Messages > vol.Messages) {
+		t.Errorf("line msgs %d should exceed volume msgs %d", lines.Messages, vol.Messages)
+	}
+	if !(lines.Messages > lic.Messages) {
+		t.Errorf("line msgs %d should exceed lic msgs %d", lines.Messages, lic.Messages)
+	}
+	// (2) growth with data size — image-bound compositing stays ~flat
+	// while trajectory-bound methods grow with the domain.
+	if vol.CommGrowth > 1.6 {
+		t.Errorf("volume comm growth %.2f should stay ~flat", vol.CommGrowth)
+	}
+	if !(lines.CommGrowth > vol.CommGrowth) {
+		t.Errorf("line growth %.2f should exceed volume growth %.2f", lines.CommGrowth, vol.CommGrowth)
+	}
+	// Formatting must include every technique and the paper columns.
+	out := FormatTableI(rows)
+	for _, name := range []string{"volume-rendering", "line-integrals", "particle-tracing", "lic", "easy", "hard"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("formatted table missing %q", name)
+		}
+	}
+}
+
+func TestStrongScalingImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	rows, err := StrongScaling(ScalingConfig{RankCounts: []int{1, 4, 16}, Steps: 10, Scale: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Modelled speedup must grow with ranks but sublinearly (halo
+	// overhead), and efficiency must decay monotonically — the shape of
+	// the Groen et al. reference scaling.
+	if !(rows[1].Speedup > rows[0].Speedup && rows[2].Speedup > rows[1].Speedup) {
+		t.Errorf("speedups not increasing: %v %v %v", rows[0].Speedup, rows[1].Speedup, rows[2].Speedup)
+	}
+	if !(rows[1].Efficiency <= rows[0].Efficiency+1e-9 && rows[2].Efficiency <= rows[1].Efficiency+1e-9) {
+		t.Errorf("efficiency not decaying: %v %v %v", rows[0].Efficiency, rows[1].Efficiency, rows[2].Efficiency)
+	}
+	if rows[0].HaloBytes != 0 {
+		t.Errorf("1 rank should have no halo traffic, got %d", rows[0].HaloBytes)
+	}
+	if rows[1].HaloBytes == 0 {
+		t.Error("4 ranks should have halo traffic")
+	}
+	if rows[2].HaloBytes <= rows[1].HaloBytes {
+		t.Errorf("halo bytes should grow with ranks: %d -> %d", rows[1].HaloBytes, rows[2].HaloBytes)
+	}
+	if out := FormatScaling(rows, false); !strings.Contains(out, "strong") {
+		t.Error("bad scaling format")
+	}
+}
+
+func TestWeakScalingSitesGrow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	rows, err := WeakScaling(ScalingConfig{RankCounts: []int{1, 4}, Steps: 10, Scale: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].Sites <= rows[0].Sites {
+		t.Errorf("weak scaling should grow the problem: %d -> %d", rows[0].Sites, rows[1].Sites)
+	}
+	if rows[1].Efficiency <= 0 || rows[1].Efficiency > 1.5 {
+		t.Errorf("weak efficiency %v implausible", rows[1].Efficiency)
+	}
+}
+
+func TestGmyReadSweepTradeoff(t *testing.T) {
+	rows, err := GmyReadSweep(4, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More readers must cut redistribution traffic.
+	if rows[1].DistBytes >= rows[0].DistBytes {
+		t.Errorf("4 readers (%d bytes) should beat 1 reader (%d)", rows[1].DistBytes, rows[0].DistBytes)
+	}
+	if out := FormatGmyRead(rows); !strings.Contains(out, "readers") {
+		t.Error("bad gmy format")
+	}
+}
+
+func TestPartitionerComparisonOrdering(t *testing.T) {
+	rows, err := PartitionerComparison(4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMethod := map[partition.Method]PartitionerRow{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+	}
+	ml := byMethod[partition.MethodMultilevel]
+	if ml.EdgeCut <= 0 {
+		t.Error("zero edge cut on 4 parts")
+	}
+	// Multilevel should be the best or near-best cut.
+	for m, r := range byMethod {
+		if m == partition.MethodMultilevel {
+			continue
+		}
+		if ml.EdgeCut > 1.5*r.EdgeCut {
+			t.Errorf("multilevel cut %.0f much worse than %s %.0f", ml.EdgeCut, m, r.EdgeCut)
+		}
+	}
+	if out := FormatPartitioners(rows); !strings.Contains(out, "multilevel") {
+		t.Error("bad partitioner format")
+	}
+}
+
+func TestRepartitionSweepImproves(t *testing.T) {
+	rows, err := RepartitionSweep(4, []float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ImbalanceAfter > r.ImbalanceBefore {
+			t.Errorf("alpha=%v: repartition worsened balance %.3f -> %.3f",
+				r.Alpha, r.ImbalanceBefore, r.ImbalanceAfter)
+		}
+	}
+	// Larger alpha distorts balance more, requiring at least as much
+	// improvement headroom.
+	if rows[1].ImbalanceBefore < rows[0].ImbalanceBefore {
+		t.Errorf("alpha=4 should distort balance at least as much as alpha=1: %.3f vs %.3f",
+			rows[1].ImbalanceBefore, rows[0].ImbalanceBefore)
+	}
+	if out := FormatRepartition(rows); !strings.Contains(out, "alpha") {
+		t.Error("bad repartition format")
+	}
+}
+
+func TestMultiresSweepReduces(t *testing.T) {
+	rows, err := MultiresSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Label != "full-res" || rows[0].ReductionPct != 0 {
+		t.Errorf("first row should be full-res baseline: %+v", rows[0])
+	}
+	for _, r := range rows[1:] {
+		if r.ReductionPct <= 0 {
+			t.Errorf("%s: no reduction", r.Label)
+		}
+	}
+	// Coarser LODs reduce more.
+	if rows[2].ReductionPct <= rows[1].ReductionPct {
+		t.Errorf("lod-2 (%.1f%%) should reduce more than lod-1 (%.1f%%)",
+			rows[2].ReductionPct, rows[1].ReductionPct)
+	}
+	if out := FormatMultires(rows); !strings.Contains(out, "roi+context") {
+		t.Error("bad multires format")
+	}
+}
+
+func TestFigure4Images(t *testing.T) {
+	if testing.Short() {
+		t.Skip("image generation")
+	}
+	cfg := FigureConfig{Steps: 300, W: 96, H: 72, Scale: 0.8}
+	a, err := Figure4a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov := a.CoveredFraction(); cov < 0.03 {
+		t.Errorf("Fig 4a covered %v", cov)
+	}
+	b, err := Figure4b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov := b.CoveredFraction(); cov < 0.03 {
+		t.Errorf("Fig 4b covered %v", cov)
+	}
+}
+
+func TestPipelineTimingRows(t *testing.T) {
+	rows, err := PipelineTiming(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Extract <= 0 || r.Render <= 0 {
+			t.Errorf("%v: missing stage timing", r.Mode)
+		}
+	}
+	if out := FormatPipeline(rows); !strings.Contains(out, "extract") {
+		t.Error("bad pipeline format")
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/geometry"
+	"repro/internal/insitu"
+	"repro/internal/lattice"
+	"repro/internal/lb"
+	"repro/internal/render"
+	"repro/internal/vec"
+	"repro/internal/viz"
+)
+
+// FigureConfig controls the Fig. 4 image reproduction.
+type FigureConfig struct {
+	// Steps develops the flow before rendering (default 800).
+	Steps int
+	// W, H are the output image dimensions (default 320x240).
+	W, H int
+	// Scale sets the aneurysm size (default 1.0).
+	Scale float64
+}
+
+func (c FigureConfig) withDefaults() FigureConfig {
+	if c.Steps == 0 {
+		c.Steps = 800
+	}
+	if c.W == 0 {
+		c.W, c.H = 320, 240
+	}
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	return c
+}
+
+// aneurysmField develops flow in the Fig. 4 aneurysm and returns the
+// snapshot.
+func aneurysmField(cfg FigureConfig) (*field.Field, error) {
+	dom, err := geometry.Voxelise(geometry.Aneurysm(20*cfg.Scale, 3.5*cfg.Scale, 5*cfg.Scale), 1.0, lattice.D3Q19())
+	if err != nil {
+		return nil, err
+	}
+	solver, err := lb.New(dom, lb.Params{Tau: 0.9})
+	if err != nil {
+		return nil, err
+	}
+	solver.Advance(cfg.Steps)
+	rho, ux, uy, uz, wss := solver.Fields(nil, nil, nil, nil, nil)
+	return &field.Field{Dom: dom, Rho: rho, Ux: ux, Uy: uy, Uz: uz, WSS: wss}, nil
+}
+
+func figureCamera(f *field.Field, w, h int) *vec.Camera {
+	dims := f.Dom.Dims
+	center := vec.New(float64(dims.X)/2, float64(dims.Y)/2, float64(dims.Z)/2)
+	return vec.Orbit(center, float64(dims.Z)*1.5, 0.6, 0.25, 42, float64(w)/float64(h))
+}
+
+// Figure4a renders the volume-rendered aneurysm of Fig. 4(a):
+// velocity-magnitude transfer function over the sparse domain.
+func Figure4a(cfg FigureConfig) (*render.Image, error) {
+	cfg = cfg.withDefaults()
+	f, err := aneurysmField(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return viz.RenderVolume(f, viz.VolumeOptions{
+		W: cfg.W, H: cfg.H,
+		Camera: figureCamera(f, cfg.W, cfg.H),
+		TF:     render.BlueRed(0, f.MaxScalar(field.ScalarSpeed)),
+		Scalar: field.ScalarSpeed,
+	})
+}
+
+// Figure4b renders the streamline visualisation of Fig. 4(b): inlet-
+// seeded streamlines coloured by speed, over a faint volume context.
+func Figure4b(cfg FigureConfig) (*render.Image, error) {
+	cfg = cfg.withDefaults()
+	f, err := aneurysmField(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cam := figureCamera(f, cfg.W, cfg.H)
+	tf := render.BlueRed(0, f.MaxScalar(field.ScalarSpeed))
+	seeds := viz.SeedsAcrossInlet(f.Dom, 24)
+	lines, err := viz.TraceStreamlines(f, viz.LineOptions{Seeds: seeds, MaxSteps: 1200, Dt: 0.5})
+	if err != nil {
+		return nil, err
+	}
+	img, err := viz.RenderLines(lines, cam, cfg.W, cfg.H, tf)
+	if err != nil {
+		return nil, err
+	}
+	// Faint context volume behind the lines.
+	ctxTF := render.Grayscale(0, f.MaxScalar(field.ScalarRho))
+	ctxTF.OpacityScale = 0.08
+	ctx, err := viz.RenderVolume(f, viz.VolumeOptions{
+		W: cfg.W, H: cfg.H, Camera: cam, TF: ctxTF, Scalar: field.ScalarRho,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := img.CompositeUnder(ctx); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// PipelineRow is one stage timing of the Fig. 3 post-processing loop
+// (E4).
+type PipelineRow struct {
+	Mode         insitu.Mode
+	Extract      time.Duration
+	Filter       time.Duration
+	Render       time.Duration
+	ReducedBytes int
+	FullBytes    int
+}
+
+// PipelineTiming runs the in situ pipeline in every mode against a
+// live solver and reports per-stage durations.
+func PipelineTiming(steps int) ([]PipelineRow, error) {
+	if steps == 0 {
+		steps = 300
+	}
+	dom, err := geometry.Voxelise(geometry.Aneurysm(20, 3.5, 5), 1.0, lattice.D3Q19())
+	if err != nil {
+		return nil, err
+	}
+	solver, err := lb.New(dom, lb.Params{Tau: 0.9})
+	if err != nil {
+		return nil, err
+	}
+	solver.Advance(steps)
+	p := insitu.NewPipeline(solver)
+	var rows []PipelineRow
+	for _, mode := range []insitu.Mode{insitu.ModeVolume, insitu.ModeStreamlines, insitu.ModeParticles, insitu.ModeLIC} {
+		req := insitu.DefaultRequest()
+		req.Mode = mode
+		req.W, req.H = 96, 72
+		res, err := p.Run(req)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PipelineRow{
+			Mode:    mode,
+			Extract: res.Extract, Filter: res.Filter, Render: res.Render,
+			ReducedBytes: res.ReducedBytes, FullBytes: res.FullBytes,
+		})
+	}
+	return rows, nil
+}
+
+// FormatPipeline renders E4 rows.
+func FormatPipeline(rows []PipelineRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "in situ pipeline stage timings (Fig. 3 loop)\n")
+	fmt.Fprintf(&b, "%-14s %12s %12s %12s %14s\n", "mode", "extract", "filter", "render", "reduced/full")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12s %12s %12s %7d/%d\n",
+			r.Mode, r.Extract.Round(time.Microsecond), r.Filter.Round(time.Microsecond),
+			r.Render.Round(time.Microsecond), r.ReducedBytes, r.FullBytes)
+	}
+	return b.String()
+}

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/geometry"
+	"repro/internal/lattice"
+	"repro/internal/lb"
+	"repro/internal/par"
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+// ScalingConfig sets the E7 strong/weak scaling workload.
+type ScalingConfig struct {
+	// RankCounts to sweep (default 1,2,4,8,16,32,64).
+	RankCounts []int
+	// Steps per measurement (default 20).
+	Steps int
+	// Scale sets the geometry size for strong scaling (default 1.2).
+	Scale float64
+	// Method is the partitioner (default multilevel).
+	Method partition.Method
+	// Machine is the modelled interconnect; zero value = ModelDefault.
+	Machine MachineModel
+}
+
+// MachineModel parameterises the analytic performance model. Because
+// this host has a single core (goroutine ranks timeshare it), measured
+// wall clock cannot exhibit parallel speedup; instead — as co-design
+// studies do — we combine a *measured* per-site compute rate with
+// *exactly counted* per-rank communication volumes under a modelled
+// interconnect. The shape of the resulting efficiency curve (surface-
+// to-volume decay, the Groen et al. reference result) is the
+// reproduction target; absolute numbers are not.
+type MachineModel struct {
+	// SiteTime is the compute time per site update; 0 = calibrate from
+	// a serial run at sweep time.
+	SiteTime time.Duration
+	// ByteTime is the per-byte transfer cost (default 1ns ≈ 1 GB/s).
+	ByteTime time.Duration
+	// MsgLatency is the per-message latency (default 2µs).
+	MsgLatency time.Duration
+}
+
+func (m MachineModel) withDefaults() MachineModel {
+	if m.ByteTime == 0 {
+		m.ByteTime = time.Nanosecond
+	}
+	if m.MsgLatency == 0 {
+		m.MsgLatency = 2 * time.Microsecond
+	}
+	return m
+}
+
+func (c ScalingConfig) withDefaults() ScalingConfig {
+	if len(c.RankCounts) == 0 {
+		c.RankCounts = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	if c.Steps == 0 {
+		c.Steps = 20
+	}
+	if c.Scale == 0 {
+		c.Scale = 1.2
+	}
+	if c.Method == "" {
+		c.Method = partition.MethodMultilevel
+	}
+	c.Machine = c.Machine.withDefaults()
+	return c
+}
+
+// ScalingRow is one point of the scaling curve (the §II/[1] claim that
+// HemeLB scales to tens of thousands of cores, reproduced in shape on
+// simulated ranks with a modelled interconnect).
+type ScalingRow struct {
+	Ranks int
+	Sites int
+	Steps int
+	// MaxSitesPerRank drives the modelled compute term.
+	MaxSitesPerRank int
+	// HaloBytes / HaloMsgs are exact counted totals per run;
+	// MaxRankBytes is the busiest rank's share per step.
+	HaloBytes     int64
+	HaloMsgs      int64
+	MaxRankBytes  int64
+	HaloImbalance float64
+	// Modelled step time, speedup vs 1 rank, and efficiency.
+	StepTime   time.Duration
+	Speedup    float64
+	Efficiency float64
+	// Wall is the real (single-core, informational) wall time.
+	Wall time.Duration
+}
+
+// calibrateSiteTime measures the serial per-site update cost.
+func calibrateSiteTime(dom *geometry.Domain) (time.Duration, error) {
+	s, err := lb.New(dom, lb.Params{Tau: 0.9})
+	if err != nil {
+		return 0, err
+	}
+	const steps = 5
+	t0 := time.Now()
+	s.Advance(steps)
+	per := time.Since(t0) / time.Duration(steps*dom.NumSites())
+	if per <= 0 {
+		per = time.Nanosecond
+	}
+	return per, nil
+}
+
+// StrongScaling runs the same cerebral-tree problem on increasing rank
+// counts and evaluates the performance model at each point.
+func StrongScaling(cfg ScalingConfig) ([]ScalingRow, error) {
+	cfg = cfg.withDefaults()
+	dom, err := geometry.Voxelise(geometry.CerebralTree(cfg.Scale), 1.0, lattice.D3Q19())
+	if err != nil {
+		return nil, err
+	}
+	g := partition.FromDomain(dom)
+	machine := cfg.Machine
+	if machine.SiteTime == 0 {
+		st, err := calibrateSiteTime(dom)
+		if err != nil {
+			return nil, err
+		}
+		machine.SiteTime = st
+	}
+	// The serial reference is pure compute over the whole domain.
+	serialStep := machine.SiteTime * time.Duration(dom.NumSites())
+	var rows []ScalingRow
+	for _, k := range cfg.RankCounts {
+		row, err := scalePoint(dom, g, k, cfg, machine)
+		if err != nil {
+			return nil, err
+		}
+		row.Speedup = float64(serialStep) / float64(row.StepTime)
+		row.Efficiency = row.Speedup / float64(k)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// scalePoint partitions for k ranks, runs the distributed solver to
+// count exact communication, and evaluates the model.
+func scalePoint(dom *geometry.Domain, g *partition.Graph, k int, cfg ScalingConfig, machine MachineModel) (ScalingRow, error) {
+	p, err := partition.ByMethod(cfg.Method, g, k, 11)
+	if err != nil {
+		return ScalingRow{}, err
+	}
+	maxSites := 0
+	counts := make([]int, k)
+	for _, part := range p.Parts {
+		counts[part]++
+	}
+	for _, n := range counts {
+		if n > maxSites {
+			maxSites = n
+		}
+	}
+	rt := par.NewRuntime(k)
+	t0 := time.Now()
+	rt.Run(func(c *par.Comm) {
+		d, err := lb.NewDist(c, dom, p, lb.Params{Tau: 0.9})
+		if err != nil {
+			panic(err)
+		}
+		d.Advance(cfg.Steps)
+	})
+	wall := time.Since(t0)
+	bytes := rt.Traffic().Bytes()
+	msgs := rt.Traffic().Messages()
+	perRank := rt.Traffic().PerRankBytes()
+	var maxRank int64
+	for _, b := range perRank {
+		if b > maxRank {
+			maxRank = b
+		}
+	}
+	// Per-step model: busiest rank's compute + busiest rank's traffic.
+	stepsD := time.Duration(cfg.Steps)
+	compute := machine.SiteTime * time.Duration(maxSites)
+	commBytes := time.Duration(maxRank/int64(cfg.Steps)) * machine.ByteTime
+	commMsgs := time.Duration(msgs/int64(cfg.Steps)/int64(max(k, 1))) * machine.MsgLatency
+	stepTime := compute + commBytes + commMsgs
+	_ = stepsD
+	return ScalingRow{
+		Ranks: k, Sites: dom.NumSites(), Steps: cfg.Steps,
+		MaxSitesPerRank: maxSites,
+		HaloBytes:       bytes,
+		HaloMsgs:        msgs,
+		MaxRankBytes:    maxRank,
+		HaloImbalance:   stats.ImbalanceI64(perRank),
+		StepTime:        stepTime,
+		Wall:            wall,
+	}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WeakScaling grows the geometry with the rank count, targeting
+// constant sites per rank, and reports modelled efficiency (perfect
+// weak scaling keeps the modelled step time flat).
+func WeakScaling(cfg ScalingConfig) ([]ScalingRow, error) {
+	cfg = cfg.withDefaults()
+	machine := cfg.Machine
+	var rows []ScalingRow
+	var baseStep time.Duration
+	for _, k := range cfg.RankCounts {
+		scale := cfg.Scale * cbrt(float64(k))
+		dom, err := geometry.Voxelise(geometry.CerebralTree(scale), 1.0, lattice.D3Q19())
+		if err != nil {
+			return nil, err
+		}
+		g := partition.FromDomain(dom)
+		if machine.SiteTime == 0 {
+			st, err := calibrateSiteTime(dom)
+			if err != nil {
+				return nil, err
+			}
+			machine.SiteTime = st
+		}
+		row, err := scalePoint(dom, g, k, cfg, machine)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 0 {
+			baseStep = row.StepTime
+		}
+		row.Efficiency = float64(baseStep) / float64(row.StepTime)
+		row.Speedup = row.Efficiency * float64(k)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func cbrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	y := x
+	for i := 0; i < 40; i++ {
+		y = (2*y + x/(y*y)) / 3
+	}
+	return y
+}
+
+// FormatScaling renders scaling rows as a table.
+func FormatScaling(rows []ScalingRow, weak bool) string {
+	var b strings.Builder
+	kind := "strong"
+	if weak {
+		kind = "weak"
+	}
+	fmt.Fprintf(&b, "%s scaling (sparse LBM; counted comm + modelled interconnect)\n", kind)
+	fmt.Fprintf(&b, "%6s %10s %12s %12s %9s %9s %14s %10s\n",
+		"ranks", "sites", "max/rank", "step model", "speedup", "eff", "halo bytes", "halo imb")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %10d %12d %12s %9.2f %9.2f %14d %10.2f\n",
+			r.Ranks, r.Sites, r.MaxSitesPerRank, r.StepTime.Round(time.Microsecond),
+			r.Speedup, r.Efficiency, r.HaloBytes, r.HaloImbalance)
+	}
+	return b.String()
+}

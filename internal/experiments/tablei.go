@@ -1,0 +1,337 @@
+// Package experiments contains the harnesses that regenerate every
+// table and figure of the paper (the per-experiment index of
+// DESIGN.md). Each harness returns structured rows so that the CLI
+// tools, the benchmark suite and EXPERIMENTS.md all report the same
+// numbers.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/geometry"
+	"repro/internal/lattice"
+	"repro/internal/lb"
+	"repro/internal/par"
+	"repro/internal/partition"
+	"repro/internal/render"
+	"repro/internal/stats"
+	"repro/internal/vec"
+	"repro/internal/viz"
+)
+
+// TableIConfig sets the workload for the Table I measurement.
+type TableIConfig struct {
+	// Ranks is the number of simulated MPI ranks (default 8).
+	Ranks int
+	// ImageW/ImageH are the render target dimensions (default 96x72).
+	ImageW, ImageH int
+	// Steps develops the flow before measuring (default 400).
+	Steps int
+	// Seeds is the particle/line seed count (default 16).
+	Seeds int
+	// TraceSteps advances the particle tracer this many steps
+	// (default 120).
+	TraceSteps int
+	// Scale sets the aneurysm geometry size (default 1.0).
+	Scale float64
+}
+
+func (c TableIConfig) withDefaults() TableIConfig {
+	if c.Ranks == 0 {
+		c.Ranks = 8
+	}
+	if c.ImageW == 0 {
+		c.ImageW, c.ImageH = 96, 72
+	}
+	if c.Steps == 0 {
+		c.Steps = 400
+	}
+	if c.Seeds == 0 {
+		c.Seeds = 16
+	}
+	if c.TraceSteps == 0 {
+		c.TraceSteps = 300
+	}
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	return c
+}
+
+// TableIRow is one measured row of the paper's Table I: a
+// visualisation technique with its communication cost, load balance
+// and parallelisation overhead quantified.
+type TableIRow struct {
+	Technique string
+	// CommBytes is the total bytes moved between ranks during the
+	// operation (the "communication cost" column) at the base scale.
+	CommBytes int64
+	// CommBytesLarge is the same measurement on a ~2.4x-larger domain;
+	// CommGrowth = large/base. The paper's low/high labels are claims
+	// about this growth: image-bound compositing stays flat while
+	// per-crossing particle traffic grows with the data.
+	CommBytesLarge int64
+	CommGrowth     float64
+	// Messages counts point-to-point messages at the base scale — the
+	// frequency component of §IV-D's "frequent search between cells
+	// results in a huge amount of communication".
+	Messages int64
+	// CommPerRankImbalance is max/mean of per-rank sent bytes.
+	CommPerRankImbalance float64
+	// WorkImbalance is max/mean of per-rank busy time (the "load
+	// balance" column; closer to 1 is better).
+	WorkImbalance float64
+	// Wall is the distributed wall-clock time.
+	Wall time.Duration
+	// SerialWall is the single-rank reference time. (On a single-core
+	// host the wall-clock columns are informational only; the asserted
+	// reproduction targets are the message and growth columns.)
+	SerialWall time.Duration
+	// PaperComm / PaperBalance / PaperEase are the qualitative
+	// entries of the published table, for side-by-side reporting.
+	PaperComm, PaperBalance, PaperEase string
+}
+
+// vizWorkload bundles the shared state of one Table I measurement at
+// one geometry scale.
+type vizWorkload struct {
+	full     *field.Field
+	part     *partition.Partition
+	cam      *vec.Camera
+	tf       *render.TransferFunction
+	seeds    []vec.V3 // inlet seeds for line integrals
+	volSeeds []vec.V3 // volume-spread seeds for particle tracing
+	plane    viz.SlicePlane
+}
+
+func buildWorkload(cfg TableIConfig, scale float64) (*vizWorkload, error) {
+	dom, err := geometry.Voxelise(geometry.Aneurysm(20*scale, 3.5*scale, 5*scale), 1.0, lattice.D3Q19())
+	if err != nil {
+		return nil, err
+	}
+	solver, err := lb.New(dom, lb.Params{Tau: 0.9})
+	if err != nil {
+		return nil, err
+	}
+	solver.Advance(cfg.Steps)
+	rho, ux, uy, uz, wss := solver.Fields(nil, nil, nil, nil, nil)
+	full := &field.Field{Dom: dom, Rho: rho, Ux: ux, Uy: uy, Uz: uz, WSS: wss}
+	g := partition.FromDomain(dom)
+	part, err := partition.MultilevelKWay(g, cfg.Ranks, partition.MLOptions{Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	center := vec.New(float64(dom.Dims.X)/2, float64(dom.Dims.Y)/2, float64(dom.Dims.Z)/2)
+	cam := vec.Orbit(center, float64(dom.Dims.Z)*1.6, 0.5, 0.3, 40, float64(cfg.ImageW)/float64(cfg.ImageH))
+	// Line seeds start at the inlet (the hemodynamic convention);
+	// tracer seeds are spread over the whole fluid volume, as particle
+	// densities are in practice.
+	var volSeeds []vec.V3
+	if cfg.Seeds > 0 {
+		stride := dom.NumSites() / cfg.Seeds
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 0; i < dom.NumSites() && len(volSeeds) < cfg.Seeds; i += stride {
+			volSeeds = append(volSeeds, dom.Sites[i].Pos.F())
+		}
+	}
+	return &vizWorkload{
+		full:     full,
+		part:     part,
+		cam:      cam,
+		tf:       render.BlueRed(0, full.MaxScalar(field.ScalarSpeed)),
+		seeds:    viz.SeedsAcrossInlet(dom, cfg.Seeds),
+		volSeeds: volSeeds,
+		plane:    viz.AxialSlice(dom.Dims),
+	}, nil
+}
+
+// vizTask is one Table I technique: a serial reference and a
+// distributed run against a workload.
+type vizTask struct {
+	name                           string
+	paperComm, paperBal, paperEase string
+	serial                         func(w *vizWorkload) error
+	dist                           func(c *par.Comm, w *vizWorkload, f *field.Field, busy *time.Duration) error
+}
+
+func tableITasks(cfg TableIConfig) []vizTask {
+	volOpt := func(w *vizWorkload) viz.VolumeOptions {
+		return viz.VolumeOptions{W: cfg.ImageW, H: cfg.ImageH, Camera: w.cam, TF: w.tf, Scalar: field.ScalarSpeed}
+	}
+	lineOpt := func(w *vizWorkload) viz.LineOptions {
+		// MaxSteps scales with the domain so trajectories are bounded
+		// by the geometry, not the step cap — the growth-with-data
+		// behaviour the table's "high" label describes.
+		return viz.LineOptions{Seeds: w.seeds, MaxSteps: 6 * w.full.Dom.Dims.Z, Dt: 1.0}
+	}
+	licOpt := viz.LICOptions{W: cfg.ImageW, H: cfg.ImageH, Seed: 3}
+	return []vizTask{
+		{
+			name: "volume-rendering", paperComm: "low", paperBal: "can be optimised", paperEase: "easy",
+			serial: func(w *vizWorkload) error {
+				_, err := viz.RenderVolume(w.full, volOpt(w))
+				return err
+			},
+			dist: func(c *par.Comm, w *vizWorkload, f *field.Field, busy *time.Duration) error {
+				t0 := time.Now()
+				_, err := viz.RenderVolumeDist(c, f, volOpt(w))
+				*busy = time.Since(t0)
+				return err
+			},
+		},
+		{
+			name: "line-integrals", paperComm: "high", paperBal: "-", paperEase: "hard",
+			serial: func(w *vizWorkload) error {
+				_, err := viz.TraceStreamlines(w.full, lineOpt(w))
+				return err
+			},
+			dist: func(c *par.Comm, w *vizWorkload, f *field.Field, busy *time.Duration) error {
+				t0 := time.Now()
+				_, err := viz.TraceStreamlinesDist(c, f, w.part.Parts, lineOpt(w))
+				*busy = time.Since(t0)
+				return err
+			},
+		},
+		{
+			name: "particle-tracing", paperComm: "high", paperBal: "-", paperEase: "hard",
+			serial: func(w *vizWorkload) error {
+				tr := viz.NewTracer(w.volSeeds, 4)
+				tr.Dt = 4.0
+				for i := 0; i < cfg.TraceSteps; i++ {
+					if err := tr.Step(w.full); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			dist: func(c *par.Comm, w *vizWorkload, f *field.Field, busy *time.Duration) error {
+				dt, err := viz.NewDistTracer(c, f, w.part.Parts, w.volSeeds, 4.0)
+				if err != nil {
+					return err
+				}
+				t0 := time.Now()
+				for i := 0; i < cfg.TraceSteps; i++ {
+					dt.Step()
+				}
+				*busy = time.Since(t0)
+				return nil
+			},
+		},
+		{
+			name: "lic", paperComm: "medium", paperBal: "good", paperEase: "moderate",
+			serial: func(w *vizWorkload) error {
+				_, err := viz.LIC(w.full, w.plane, licOpt)
+				return err
+			},
+			dist: func(c *par.Comm, w *vizWorkload, f *field.Field, busy *time.Duration) error {
+				t0 := time.Now()
+				_, err := viz.LICDist(c, f, w.part.Parts, w.plane, licOpt)
+				*busy = time.Since(t0)
+				return err
+			},
+		},
+	}
+}
+
+// runDist executes one task distributed and returns the traffic
+// counters and per-rank busy times.
+func runDist(cfg TableIConfig, tk vizTask, w *vizWorkload) (bytes, msgs int64, perRank []int64, wall time.Duration, busy []time.Duration, err error) {
+	rt := par.NewRuntime(cfg.Ranks)
+	busy = make([]time.Duration, cfg.Ranks)
+	var taskErr error
+	t0 := time.Now()
+	rt.Run(func(c *par.Comm) {
+		local := &field.Field{
+			Dom: w.full.Dom, Rho: w.full.Rho, Ux: w.full.Ux, Uy: w.full.Uy, Uz: w.full.Uz, WSS: w.full.WSS,
+			Owned: field.OwnedMask(w.part.Parts, c.Rank()),
+		}
+		var b time.Duration
+		if err := tk.dist(c, w, local, &b); err != nil && c.Rank() == 0 {
+			taskErr = err
+		}
+		busy[c.Rank()] = b
+	})
+	wall = time.Since(t0)
+	if taskErr != nil {
+		return 0, 0, nil, 0, nil, fmt.Errorf("experiments: %s dist: %w", tk.name, taskErr)
+	}
+	return rt.Traffic().Bytes(), rt.Traffic().Messages(), rt.Traffic().PerRankBytes(), wall, busy, nil
+}
+
+// TableI measures the four visualisation techniques on the aneurysm
+// workload at two geometry scales and returns one row per technique in
+// the paper's column order: volume rendering, line integrals, particle
+// tracing, LIC. The growth column (large-domain comm / base comm)
+// quantifies the table's low/medium/high claims: image-bound methods
+// stay flat while trajectory-bound methods grow with the data.
+func TableI(cfg TableIConfig) ([]TableIRow, error) {
+	cfg = cfg.withDefaults()
+	base, err := buildWorkload(cfg, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	large, err := buildWorkload(cfg, cfg.Scale*1.35)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TableIRow
+	for _, tk := range tableITasks(cfg) {
+		t0 := time.Now()
+		if err := tk.serial(base); err != nil {
+			return nil, fmt.Errorf("experiments: %s serial: %w", tk.name, err)
+		}
+		serialWall := time.Since(t0)
+
+		bytesBase, msgs, perRank, wall, busy, err := runDist(cfg, tk, base)
+		if err != nil {
+			return nil, err
+		}
+		bytesLarge, _, _, _, _, err := runDist(cfg, tk, large)
+		if err != nil {
+			return nil, err
+		}
+		busyF := make([]float64, len(busy))
+		for i, b := range busy {
+			busyF[i] = b.Seconds()
+		}
+		growth := 0.0
+		if bytesBase > 0 {
+			growth = float64(bytesLarge) / float64(bytesBase)
+		}
+		rows = append(rows, TableIRow{
+			Technique:            tk.name,
+			CommBytes:            bytesBase,
+			CommBytesLarge:       bytesLarge,
+			CommGrowth:           growth,
+			Messages:             msgs,
+			CommPerRankImbalance: stats.ImbalanceI64(perRank),
+			WorkImbalance:        stats.Imbalance(busyF),
+			Wall:                 wall,
+			SerialWall:           serialWall,
+			PaperComm:            tk.paperComm,
+			PaperBalance:         tk.paperBal,
+			PaperEase:            tk.paperEase,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTableI renders the rows in the paper's layout with measured
+// values beside the published qualitative entries.
+func FormatTableI(rows []TableIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %12s %12s %8s %10s %10s %10s | paper: comm/balance/ease\n",
+		"technique", "comm bytes", "comm@2.4x", "growth", "messages", "work imb", "wall")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %12d %12d %8.2f %10d %10.2f %10s | %s / %s / %s\n",
+			r.Technique, r.CommBytes, r.CommBytesLarge, r.CommGrowth, r.Messages,
+			r.WorkImbalance, r.Wall.Round(time.Millisecond),
+			r.PaperComm, r.PaperBalance, r.PaperEase)
+	}
+	return b.String()
+}

@@ -1,0 +1,215 @@
+// Package geometry builds the sparse blood-vessel geometries HemeLB
+// simulates. The paper's inputs are patient-specific angiography
+// meshes; those are not available offline, so this package generates
+// synthetic equivalents (straight pipes, bends, bifurcations and
+// saccular aneurysms) with the same structural properties: tubular,
+// sparse (a few percent of the bounding box is fluid), with tagged
+// inlet and outlet cut planes. Shapes are modelled as signed distance
+// fields (SDF < 0 inside the fluid) and voxelised onto the regular
+// lattice of Fig. 1.
+package geometry
+
+import (
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Shape is a solid region of fluid described by a signed distance
+// field. SDF returns a value < 0 inside the fluid, > 0 outside; it
+// needs to be a conservative bound near the surface rather than an
+// exact Euclidean distance (the voxeliser refines crossings by
+// bisection).
+type Shape interface {
+	SDF(p vec.V3) float64
+	Bounds() vec.Box
+}
+
+// Sphere is a solid ball.
+type Sphere struct {
+	Center vec.V3
+	Radius float64
+}
+
+// SDF implements Shape.
+func (s Sphere) SDF(p vec.V3) float64 { return p.Dist(s.Center) - s.Radius }
+
+// Bounds implements Shape.
+func (s Sphere) Bounds() vec.Box {
+	r := vec.Splat(s.Radius)
+	return vec.NewBox(s.Center.Sub(r), s.Center.Add(r))
+}
+
+// Capsule is a cylinder with hemispherical caps between A and B —
+// the basic vessel segment primitive. The caps make unions of segments
+// join smoothly at bends and bifurcations.
+type Capsule struct {
+	A, B   vec.V3
+	Radius float64
+}
+
+// SDF implements Shape.
+func (c Capsule) SDF(p vec.V3) float64 {
+	ab := c.B.Sub(c.A)
+	t := p.Sub(c.A).Dot(ab) / ab.Len2()
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	closest := c.A.Add(ab.Mul(t))
+	return p.Dist(closest) - c.Radius
+}
+
+// Bounds implements Shape.
+func (c Capsule) Bounds() vec.Box {
+	r := vec.Splat(c.Radius)
+	lo := c.A.Min(c.B).Sub(r)
+	hi := c.A.Max(c.B).Add(r)
+	return vec.NewBox(lo, hi)
+}
+
+// TaperedCapsule is a capsule whose radius varies linearly from RA at A
+// to RB at B, used for tapering vessels.
+type TaperedCapsule struct {
+	A, B   vec.V3
+	RA, RB float64
+}
+
+// SDF implements Shape.
+func (c TaperedCapsule) SDF(p vec.V3) float64 {
+	ab := c.B.Sub(c.A)
+	t := p.Sub(c.A).Dot(ab) / ab.Len2()
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	closest := c.A.Add(ab.Mul(t))
+	r := c.RA + t*(c.RB-c.RA)
+	return p.Dist(closest) - r
+}
+
+// Bounds implements Shape.
+func (c TaperedCapsule) Bounds() vec.Box {
+	r := vec.Splat(math.Max(c.RA, c.RB))
+	lo := c.A.Min(c.B).Sub(r)
+	hi := c.A.Max(c.B).Add(r)
+	return vec.NewBox(lo, hi)
+}
+
+// TorusArc is a section of a torus: the bend primitive. The torus lies
+// in the plane through Center spanned by U and V (orthonormal), with
+// major radius Major and tube radius Tube; the arc covers angles
+// [0, Angle] measured from U towards V.
+type TorusArc struct {
+	Center vec.V3
+	U, V   vec.V3 // orthonormal in-plane basis
+	Major  float64
+	Tube   float64
+	Angle  float64 // radians, in (0, 2π]
+}
+
+// SDF implements Shape.
+func (t TorusArc) SDF(p vec.V3) float64 {
+	d := p.Sub(t.Center)
+	x := d.Dot(t.U)
+	y := d.Dot(t.V)
+	phi := math.Atan2(y, x)
+	if phi < 0 {
+		phi += 2 * math.Pi
+	}
+	if phi > t.Angle {
+		// Clamp to the nearer arc end.
+		if phi-t.Angle < 2*math.Pi-phi {
+			phi = t.Angle
+		} else {
+			phi = 0
+		}
+	}
+	ring := t.Center.Add(t.U.Mul(t.Major * math.Cos(phi))).Add(t.V.Mul(t.Major * math.Sin(phi)))
+	return p.Dist(ring) - t.Tube
+}
+
+// Bounds implements Shape.
+func (t TorusArc) Bounds() vec.Box {
+	r := vec.Splat(t.Major + t.Tube)
+	return vec.NewBox(t.Center.Sub(r), t.Center.Add(r))
+}
+
+// Union is the CSG union of shapes: fluid where any member is fluid.
+type Union []Shape
+
+// SDF implements Shape.
+func (u Union) SDF(p vec.V3) float64 {
+	d := math.Inf(1)
+	for _, s := range u {
+		if v := s.SDF(p); v < d {
+			d = v
+		}
+	}
+	return d
+}
+
+// Bounds implements Shape.
+func (u Union) Bounds() vec.Box {
+	if len(u) == 0 {
+		return vec.Box{}
+	}
+	b := u[0].Bounds()
+	for _, s := range u[1:] {
+		b = b.Union(s.Bounds())
+	}
+	return b
+}
+
+// Iolet is an inlet or outlet: an open disk on the domain boundary
+// where fluid enters or leaves. Normal points *into* the fluid domain.
+// Sites beyond the plane (on the negative-normal side) are clipped away
+// by the voxeliser and lattice links crossing the disk are tagged with
+// the iolet's index.
+type Iolet struct {
+	Center vec.V3
+	Normal vec.V3 // unit, pointing into the fluid
+	Radius float64
+	// IsInlet distinguishes pressure/velocity inlets from outlets.
+	IsInlet bool
+	// Pressure is the physical boundary pressure in lattice units
+	// (deviation from reference density; used by the solver's
+	// equilibrium iolet condition).
+	Pressure float64
+}
+
+// side returns the signed distance of p from the iolet plane; > 0 is
+// inside the domain.
+func (io Iolet) side(p vec.V3) float64 {
+	return p.Sub(io.Center).Dot(io.Normal)
+}
+
+// Vessel is a complete synthetic geometry: the fluid shape plus its
+// iolets and a human-readable name.
+type Vessel struct {
+	Name   string
+	Shape  Shape
+	Iolets []Iolet
+}
+
+// Bounds returns the vessel's bounding box, expanded slightly so that
+// wall sites at the surface are inside the voxelisation region.
+func (v *Vessel) Bounds() vec.Box { return v.Shape.Bounds().Expand(1.5) }
+
+// Inside reports whether p is fluid: inside the SDF and on the interior
+// side of every iolet plane.
+func (v *Vessel) Inside(p vec.V3) bool {
+	if v.Shape.SDF(p) >= 0 {
+		return false
+	}
+	for _, io := range v.Iolets {
+		if io.side(p) < 0 {
+			return false
+		}
+	}
+	return true
+}

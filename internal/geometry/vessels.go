@@ -1,0 +1,159 @@
+package geometry
+
+import (
+	"math"
+
+	"repro/internal/vec"
+)
+
+// Pipe returns a straight cylindrical vessel of the given length and
+// radius along +Z, with a pressure inlet at the bottom and an outlet at
+// the top. This is the validation geometry: its steady solution is
+// Poiseuille flow.
+func Pipe(length, radius float64) *Vessel {
+	a := vec.New(0, 0, 0)
+	b := vec.New(0, 0, length)
+	return &Vessel{
+		Name:  "pipe",
+		Shape: Capsule{A: a.Add(vec.New(0, 0, -radius)), B: b.Add(vec.New(0, 0, radius)), Radius: radius},
+		Iolets: []Iolet{
+			{Center: a, Normal: vec.New(0, 0, 1), Radius: radius, IsInlet: true, Pressure: 0.01},
+			{Center: b, Normal: vec.New(0, 0, -1), Radius: radius, IsInlet: false, Pressure: 0.0},
+		},
+	}
+}
+
+// Bend returns a 90-degree curved vessel in the XZ plane: a quarter
+// torus joining a vertical inflow leg to a horizontal outflow leg.
+func Bend(major, tube float64) *Vessel {
+	center := vec.New(major, 0, 0)
+	arc := TorusArc{
+		Center: center,
+		U:      vec.New(-1, 0, 0), // angle 0 = pointing back to origin
+		V:      vec.New(0, 0, 1),  // sweeps upward
+		Major:  major,
+		Tube:   tube,
+		Angle:  math.Pi / 2,
+	}
+	// Arc start point (phi=0): center + U*major = origin; end point
+	// (phi=π/2): center + V*major = (major, 0, major).
+	start := vec.New(0, 0, 0)
+	end := vec.New(major, 0, major)
+	return &Vessel{
+		Name:  "bend",
+		Shape: arc,
+		Iolets: []Iolet{
+			{Center: start.Add(vec.New(0, 0, 0)), Normal: vec.New(0, 0, 1), Radius: tube, IsInlet: true, Pressure: 0.01},
+			{Center: end, Normal: vec.New(-1, 0, 0), Radius: tube, IsInlet: false, Pressure: 0.0},
+		},
+	}
+}
+
+// Bifurcation returns a symmetric Y-junction: a parent vessel along +Z
+// splitting into two daughter branches at ±angle in the XZ plane.
+// Daughter radii follow Murray's law (r_d = r_p / 2^(1/3)) as real
+// arterial trees approximately do.
+func Bifurcation(parentLen, branchLen, parentRadius float64, angle float64) *Vessel {
+	rd := parentRadius / math.Cbrt(2)
+	apex := vec.New(0, 0, parentLen)
+	dir1 := vec.New(math.Sin(angle), 0, math.Cos(angle))
+	dir2 := vec.New(-math.Sin(angle), 0, math.Cos(angle))
+	end1 := apex.Add(dir1.Mul(branchLen))
+	end2 := apex.Add(dir2.Mul(branchLen))
+	shape := Union{
+		Capsule{A: vec.New(0, 0, -parentRadius), B: apex, Radius: parentRadius},
+		Capsule{A: apex, B: end1.Add(dir1.Mul(rd)), Radius: rd},
+		Capsule{A: apex, B: end2.Add(dir2.Mul(rd)), Radius: rd},
+	}
+	return &Vessel{
+		Name:  "bifurcation",
+		Shape: shape,
+		Iolets: []Iolet{
+			{Center: vec.New(0, 0, 0), Normal: vec.New(0, 0, 1), Radius: parentRadius, IsInlet: true, Pressure: 0.012},
+			{Center: end1, Normal: dir1.Neg(), Radius: rd, IsInlet: false, Pressure: 0.0},
+			{Center: end2, Normal: dir2.Neg(), Radius: rd, IsInlet: false, Pressure: 0.0},
+		},
+	}
+}
+
+// Aneurysm returns the paper's motivating geometry: a parent vessel
+// with a saccular (berry) aneurysm bulging from its side wall, the
+// configuration rendered in Fig. 4. sacRadius controls the bulge size;
+// neckOffset places the sac centre relative to the vessel axis.
+func Aneurysm(parentLen, parentRadius, sacRadius float64) *Vessel {
+	mid := vec.New(0, 0, parentLen*0.5)
+	// Sac centre offset sideways so the sac intersects the vessel wall,
+	// leaving a neck opening.
+	sacCenter := mid.Add(vec.New(parentRadius+sacRadius*0.55, 0, 0))
+	shape := Union{
+		Capsule{A: vec.New(0, 0, -parentRadius), B: vec.New(0, 0, parentLen+parentRadius), Radius: parentRadius},
+		Sphere{Center: sacCenter, Radius: sacRadius},
+	}
+	return &Vessel{
+		Name:  "aneurysm",
+		Shape: shape,
+		Iolets: []Iolet{
+			{Center: vec.New(0, 0, 0), Normal: vec.New(0, 0, 1), Radius: parentRadius, IsInlet: true, Pressure: 0.012},
+			{Center: vec.New(0, 0, parentLen), Normal: vec.New(0, 0, -1), Radius: parentRadius, IsInlet: false, Pressure: 0.0},
+		},
+	}
+}
+
+// CerebralTree returns a larger multi-branch synthetic network: parent
+// → bifurcation → one branch carrying a bend and an aneurysm sac. It is
+// the "realistic workload" used by the scaling and visualisation
+// benchmarks (sparse fluid fraction of a few percent, like HemeLB's
+// intracranial geometries).
+func CerebralTree(scale float64) *Vessel {
+	r := 4.0 * scale
+	rd := r / math.Cbrt(2)
+	trunkTop := vec.New(0, 0, 30*scale)
+	d1 := vec.New(math.Sin(0.5), 0, math.Cos(0.5))
+	d2 := vec.New(-math.Sin(0.6), 0.2, math.Cos(0.6)).Norm()
+	b1End := trunkTop.Add(d1.Mul(25 * scale))
+	b2End := trunkTop.Add(d2.Mul(22 * scale))
+	sac := vec.New(b1End.X+rd+2.2*scale*0.55, b1End.Y, b1End.Z-6*scale)
+	shape := Union{
+		Capsule{A: vec.New(0, 0, -r), B: trunkTop, Radius: r},
+		Capsule{A: trunkTop, B: b1End.Add(d1.Mul(rd)), Radius: rd},
+		Capsule{A: trunkTop, B: b2End.Add(d2.Mul(rd)), Radius: rd},
+		Sphere{Center: sac, Radius: 2.2 * scale},
+	}
+	return &Vessel{
+		Name:  "cerebral-tree",
+		Shape: shape,
+		Iolets: []Iolet{
+			{Center: vec.New(0, 0, 0), Normal: vec.New(0, 0, 1), Radius: r, IsInlet: true, Pressure: 0.015},
+			{Center: b1End, Normal: d1.Neg(), Radius: rd, IsInlet: false, Pressure: 0.0},
+			{Center: b2End, Normal: d2.Neg(), Radius: rd, IsInlet: false, Pressure: 0.0},
+		},
+	}
+}
+
+// Stenosis returns a straight vessel with a smooth mid-length
+// narrowing to severity×radius — the other canonical pathological
+// geometry next to the aneurysm (flow accelerates and wall shear
+// stress peaks in the throat). severity in (0, 1); 0.5 = 50% diameter
+// stenosis.
+func Stenosis(length, radius, severity float64) *Vessel {
+	if severity <= 0 || severity >= 1 {
+		severity = 0.5
+	}
+	throat := radius * (1 - severity)
+	zIn := length * 0.35
+	zOut := length * 0.65
+	shape := Union{
+		Capsule{A: vec.New(0, 0, -radius), B: vec.New(0, 0, zIn), Radius: radius},
+		TaperedCapsule{A: vec.New(0, 0, zIn), B: vec.New(0, 0, length/2), RA: radius, RB: throat},
+		TaperedCapsule{A: vec.New(0, 0, length/2), B: vec.New(0, 0, zOut), RA: throat, RB: radius},
+		Capsule{A: vec.New(0, 0, zOut), B: vec.New(0, 0, length+radius), Radius: radius},
+	}
+	return &Vessel{
+		Name:  "stenosis",
+		Shape: shape,
+		Iolets: []Iolet{
+			{Center: vec.New(0, 0, 0), Normal: vec.New(0, 0, 1), Radius: radius, IsInlet: true, Pressure: 0.012},
+			{Center: vec.New(0, 0, length), Normal: vec.New(0, 0, -1), Radius: radius, IsInlet: false, Pressure: 0.0},
+		},
+	}
+}

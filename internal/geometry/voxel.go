@@ -1,0 +1,304 @@
+package geometry
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lattice"
+	"repro/internal/vec"
+)
+
+// LinkType classifies what a lattice link from a fluid site crosses.
+type LinkType uint8
+
+// Link classifications.
+const (
+	LinkFluid  LinkType = iota // neighbour is another fluid site
+	LinkWall                   // link crosses the vessel wall
+	LinkInlet                  // link crosses an inlet disk
+	LinkOutlet                 // link crosses an outlet disk
+)
+
+// Link describes one lattice direction leaving a fluid site.
+type Link struct {
+	Type LinkType
+	// Dist is the fraction in (0,1] along the link at which the wall or
+	// iolet surface is crossed; meaningful for non-fluid links.
+	Dist float64
+	// Iolet is the index into the vessel's iolet list for
+	// LinkInlet/LinkOutlet links, -1 otherwise.
+	Iolet int
+}
+
+// SiteFlags classifies a fluid site by the kinds of links it has.
+type SiteFlags uint8
+
+// Site flag bits.
+const (
+	FlagWall SiteFlags = 1 << iota
+	FlagInlet
+	FlagOutlet
+)
+
+// Site is one fluid lattice site.
+type Site struct {
+	Pos   vec.I3 // lattice coordinates
+	Links []Link // per direction 1..Q-1 (index i holds direction i+1)
+	Flags SiteFlags
+	// WallNormal is the outward unit normal of the nearest wall for
+	// wall-adjacent sites (approximated by the SDF gradient), zero
+	// otherwise. Used for wall-shear-stress output.
+	WallNormal vec.V3
+}
+
+// BlockSize is the coarse block edge length of the two-level geometry
+// format, matching HemeLB's 8-site blocks.
+const BlockSize = 8
+
+// Domain is the voxelised sparse geometry: the set of fluid sites with
+// their link metadata, a dense site index, and the coarse block
+// decomposition used by the two-level file format and the initial
+// approximate load balance.
+type Domain struct {
+	Model  *lattice.Model
+	Dims   vec.I3  // lattice extent
+	Origin vec.V3  // world position of lattice site (0,0,0)
+	H      float64 // lattice spacing (world units per site)
+	Sites  []Site
+	Iolets []Iolet
+
+	// index maps dense lattice offset -> site id, -1 for solid.
+	index []int32
+
+	// BlockDims is the extent in blocks; BlockFluidCount[b] is the
+	// number of fluid sites in block b (the coarse level of the
+	// two-level format).
+	BlockDims       vec.I3
+	BlockFluidCount []int32
+}
+
+// NumSites returns the number of fluid sites.
+func (d *Domain) NumSites() int { return len(d.Sites) }
+
+// FluidFraction returns the fluid share of the bounding lattice.
+func (d *Domain) FluidFraction() float64 {
+	total := d.Dims.X * d.Dims.Y * d.Dims.Z
+	if total == 0 {
+		return 0
+	}
+	return float64(len(d.Sites)) / float64(total)
+}
+
+// offset returns the dense index of lattice point p, or -1 if out of
+// range.
+func (d *Domain) offset(p vec.I3) int {
+	if p.X < 0 || p.Y < 0 || p.Z < 0 || p.X >= d.Dims.X || p.Y >= d.Dims.Y || p.Z >= d.Dims.Z {
+		return -1
+	}
+	return (p.Z*d.Dims.Y+p.Y)*d.Dims.X + p.X
+}
+
+// SiteAt returns the site id at lattice point p, or -1 if p is solid or
+// out of range.
+func (d *Domain) SiteAt(p vec.I3) int {
+	off := d.offset(p)
+	if off < 0 {
+		return -1
+	}
+	return int(d.index[off])
+}
+
+// World converts lattice coordinates to world coordinates (site
+// centres).
+func (d *Domain) World(p vec.I3) vec.V3 {
+	return d.Origin.Add(p.F().Mul(d.H))
+}
+
+// Lattice converts a world position to continuous lattice coordinates.
+func (d *Domain) Lattice(p vec.V3) vec.V3 {
+	return p.Sub(d.Origin).Div(d.H)
+}
+
+// BlockOf returns the block coordinates containing lattice point p.
+func BlockOf(p vec.I3) vec.I3 {
+	return vec.I3{X: p.X / BlockSize, Y: p.Y / BlockSize, Z: p.Z / BlockSize}
+}
+
+// BlockID returns the dense block index for block coordinates b.
+func (d *Domain) BlockID(b vec.I3) int {
+	return (b.Z*d.BlockDims.Y+b.Y)*d.BlockDims.X + b.X
+}
+
+// NumBlocks returns the total number of coarse blocks.
+func (d *Domain) NumBlocks() int {
+	return d.BlockDims.X * d.BlockDims.Y * d.BlockDims.Z
+}
+
+// Voxelise discretises a vessel onto a lattice with spacing h,
+// computing per-site link metadata: fluid links, wall links with
+// bisection-refined crossing distances, and in/outlet links where the
+// link crosses an iolet disk. It is the pre-processing step 1 of
+// section IV-B ("read in the geometry for blood vessel model").
+func Voxelise(v *Vessel, h float64, model *lattice.Model) (*Domain, error) {
+	if h <= 0 {
+		return nil, fmt.Errorf("geometry: lattice spacing must be positive, got %g", h)
+	}
+	b := v.Bounds()
+	size := b.Size()
+	nx := int(math.Ceil(size.X/h)) + 1
+	ny := int(math.Ceil(size.Y/h)) + 1
+	nz := int(math.Ceil(size.Z/h)) + 1
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("geometry: empty bounds %+v", b)
+	}
+	const maxSites = 1 << 28
+	if nx*ny*nz > maxSites {
+		return nil, fmt.Errorf("geometry: lattice %dx%dx%d too large; increase spacing", nx, ny, nz)
+	}
+	d := &Domain{
+		Model:  model,
+		Dims:   vec.I3{X: nx, Y: ny, Z: nz},
+		Origin: b.Min,
+		H:      h,
+		Iolets: append([]Iolet(nil), v.Iolets...),
+		index:  make([]int32, nx*ny*nz),
+	}
+	d.BlockDims = vec.I3{
+		X: (nx + BlockSize - 1) / BlockSize,
+		Y: (ny + BlockSize - 1) / BlockSize,
+		Z: (nz + BlockSize - 1) / BlockSize,
+	}
+	d.BlockFluidCount = make([]int32, d.NumBlocks())
+
+	// Pass 1: classify fluid sites.
+	for i := range d.index {
+		d.index[i] = -1
+	}
+	var sites []Site
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				p := vec.I3{X: x, Y: y, Z: z}
+				if !v.Inside(d.World(p)) {
+					continue
+				}
+				d.index[d.offset(p)] = int32(len(sites))
+				sites = append(sites, Site{Pos: p})
+				d.BlockFluidCount[d.BlockID(BlockOf(p))]++
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("geometry: vessel %q produced no fluid sites at spacing %g", v.Name, h)
+	}
+	d.Sites = sites
+
+	// Pass 2: link classification.
+	for si := range d.Sites {
+		s := &d.Sites[si]
+		s.Links = make([]Link, model.Q-1)
+		wp := d.World(s.Pos)
+		for q := 1; q < model.Q; q++ {
+			c := model.C[q]
+			np := s.Pos.Add(vec.I3{X: c[0], Y: c[1], Z: c[2]})
+			link := &s.Links[q-1]
+			link.Iolet = -1
+			if d.SiteAt(np) >= 0 {
+				link.Type = LinkFluid
+				continue
+			}
+			// The link leaves the fluid. Decide whether it crosses an
+			// iolet disk or the vessel wall, and where.
+			wn := d.World(np)
+			if idx, t := d.ioletCrossing(wp, wn); idx >= 0 {
+				if v.Iolets[idx].IsInlet {
+					link.Type = LinkInlet
+					s.Flags |= FlagInlet
+				} else {
+					link.Type = LinkOutlet
+					s.Flags |= FlagOutlet
+				}
+				link.Iolet = idx
+				link.Dist = t
+				continue
+			}
+			link.Type = LinkWall
+			link.Dist = wallCrossing(v.Shape, wp, wn)
+			s.Flags |= FlagWall
+		}
+		if s.Flags&FlagWall != 0 {
+			s.WallNormal = sdfGradient(v.Shape, wp, d.H*0.5)
+		}
+	}
+	return d, nil
+}
+
+// ioletCrossing tests whether the segment a->b crosses any iolet disk
+// and returns its index and the crossing fraction, or (-1, 0).
+func (d *Domain) ioletCrossing(a, b vec.V3) (int, float64) {
+	for i, io := range d.Iolets {
+		sa := io.side(a)
+		sb := io.side(b)
+		if sa < 0 || sb >= 0 {
+			continue // does not cross the plane outward
+		}
+		t := sa / (sa - sb) // fraction where the plane is hit
+		hit := a.Lerp(b, t)
+		// Allow a half-spacing slack on the disk radius so corner sites
+		// near the rim are captured by the iolet rather than the wall.
+		if hit.Dist(io.Center) <= io.Radius+d.H*0.5 {
+			if t <= 0 {
+				t = 1e-9
+			}
+			return i, t
+		}
+	}
+	return -1, 0
+}
+
+// wallCrossing bisects the SDF along the segment a->b to locate the
+// wall crossing fraction in (0,1]. a is fluid (SDF<0); b is expected
+// solid. If the SDF never becomes positive along the segment (possible
+// near iolet-clipped corners), 1.0 is returned.
+func wallCrossing(s Shape, a, b vec.V3) float64 {
+	fb := s.SDF(b)
+	if fb < 0 {
+		return 1.0
+	}
+	lo, hi := 0.0, 1.0
+	for iter := 0; iter < 20; iter++ {
+		mid := (lo + hi) / 2
+		if s.SDF(a.Lerp(b, mid)) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := (lo + hi) / 2
+	if t <= 0 {
+		t = 1e-9
+	}
+	return t
+}
+
+// sdfGradient estimates the outward wall normal at p by central
+// differences of the SDF with step eps.
+func sdfGradient(s Shape, p vec.V3, eps float64) vec.V3 {
+	g := vec.V3{
+		X: s.SDF(p.Add(vec.New(eps, 0, 0))) - s.SDF(p.Sub(vec.New(eps, 0, 0))),
+		Y: s.SDF(p.Add(vec.New(0, eps, 0))) - s.SDF(p.Sub(vec.New(0, eps, 0))),
+		Z: s.SDF(p.Add(vec.New(0, 0, eps))) - s.SDF(p.Sub(vec.New(0, 0, eps))),
+	}
+	return g.Norm()
+}
+
+// Neighbour returns the site id of the neighbour of site si in model
+// direction q (1-based), or -1 when the link is not a fluid link.
+func (d *Domain) Neighbour(si, q int) int {
+	s := &d.Sites[si]
+	if s.Links[q-1].Type != LinkFluid {
+		return -1
+	}
+	c := d.Model.C[q]
+	return d.SiteAt(s.Pos.Add(vec.I3{X: c[0], Y: c[1], Z: c[2]}))
+}

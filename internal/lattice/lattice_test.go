@@ -1,0 +1,120 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+)
+
+func models() []*Model { return []*Model{D3Q19(), D3Q15()} }
+
+func TestWeightsSumToOne(t *testing.T) {
+	for _, m := range models() {
+		sum := 0.0
+		for _, w := range m.W {
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-14 {
+			t.Errorf("%s: weights sum to %v", m.Name, sum)
+		}
+	}
+}
+
+func TestRestVelocityFirst(t *testing.T) {
+	for _, m := range models() {
+		if m.C[0] != [3]int{0, 0, 0} {
+			t.Errorf("%s: C[0] = %v", m.Name, m.C[0])
+		}
+		if m.Opp[0] != 0 {
+			t.Errorf("%s: Opp[0] = %d", m.Name, m.Opp[0])
+		}
+	}
+}
+
+func TestOppositesAreInvolutions(t *testing.T) {
+	for _, m := range models() {
+		for i := 0; i < m.Q; i++ {
+			j := m.Opp[i]
+			if m.Opp[j] != i {
+				t.Errorf("%s: Opp not involutive at %d", m.Name, i)
+			}
+			for k := 0; k < 3; k++ {
+				if m.C[j][k] != -m.C[i][k] {
+					t.Errorf("%s: C[Opp[%d]] != -C[%d]", m.Name, i, i)
+				}
+			}
+		}
+	}
+}
+
+// TestFirstMoments verifies the velocity-set isotropy conditions needed
+// for the Navier-Stokes limit: sum_i w_i c_i = 0 and
+// sum_i w_i c_i c_i = cs^2 I.
+func TestFirstMoments(t *testing.T) {
+	for _, m := range models() {
+		var m1 [3]float64
+		var m2 [3][3]float64
+		for i := 0; i < m.Q; i++ {
+			for a := 0; a < 3; a++ {
+				m1[a] += m.W[i] * float64(m.C[i][a])
+				for b := 0; b < 3; b++ {
+					m2[a][b] += m.W[i] * float64(m.C[i][a]) * float64(m.C[i][b])
+				}
+			}
+		}
+		for a := 0; a < 3; a++ {
+			if math.Abs(m1[a]) > 1e-14 {
+				t.Errorf("%s: first moment %v nonzero", m.Name, m1)
+			}
+			for b := 0; b < 3; b++ {
+				want := 0.0
+				if a == b {
+					want = m.Cs2
+				}
+				if math.Abs(m2[a][b]-want) > 1e-14 {
+					t.Errorf("%s: second moment [%d][%d] = %v, want %v", m.Name, a, b, m2[a][b], want)
+				}
+			}
+		}
+	}
+}
+
+// TestThirdMomentIsotropy checks sum_i w_i c_ia c_ib c_ic = 0 (odd
+// moment vanishes), required for Galilean invariance at low Mach.
+func TestThirdMomentIsotropy(t *testing.T) {
+	for _, m := range models() {
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				for cc := 0; cc < 3; cc++ {
+					s := 0.0
+					for i := 0; i < m.Q; i++ {
+						s += m.W[i] * float64(m.C[i][a]) * float64(m.C[i][b]) * float64(m.C[i][cc])
+					}
+					if math.Abs(s) > 1e-14 {
+						t.Errorf("%s: third moment [%d%d%d] = %v", m.Name, a, b, cc, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestQCounts(t *testing.T) {
+	if q := D3Q19().Q; q != 19 {
+		t.Errorf("D3Q19 Q = %d", q)
+	}
+	if q := D3Q15().Q; q != 15 {
+		t.Errorf("D3Q15 Q = %d", q)
+	}
+}
+
+func TestDirectionsUnique(t *testing.T) {
+	for _, m := range models() {
+		seen := map[[3]int]bool{}
+		for _, c := range m.C {
+			if seen[c] {
+				t.Errorf("%s: duplicate direction %v", m.Name, c)
+			}
+			seen[c] = true
+		}
+	}
+}

@@ -1,0 +1,452 @@
+package lb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geometry"
+	"repro/internal/par"
+	"repro/internal/partition"
+)
+
+// tagHalo is the message tag used for population exchange.
+const tagHalo = par.TagUser + 101
+
+// streamCrossBase encodes cross-rank streaming targets in the stream
+// table: entries <= streamCrossBase represent slot
+// (streamCrossBase - value) in the packed send buffer. Boundary
+// encodings (wall, iolets) occupy (streamCrossBase, 0).
+const streamCrossBase = int32(-(1 << 20))
+
+// Dist runs the sparse LBM solver distributed over the ranks of a par
+// communicator according to a partition: rank r owns the sites with
+// Parts[site] == r. Each step is collide+stream on owned sites followed
+// by halo exchange of the populations that crossed rank boundaries —
+// the communication structure whose cost the scaling experiments (E7)
+// measure.
+type Dist struct {
+	Comm *par.Comm
+	Dom  *geometry.Domain
+	Tau  float64
+	Kind Collision
+	M    int // model Q
+
+	// Owned maps local index -> global site id (ascending).
+	Owned []int
+	// local maps global site id -> local index (or -1).
+	local []int32
+
+	f, fNew  []float64
+	stream   []int32
+	ioletRho []float64
+	pulses   []*Pulse
+
+	post, feqBuf []float64
+
+	// sendBuf is packed by CollideStream; sendTo[r] gives the slot
+	// range destined for rank r. recvFix[r] lists the local fNew flat
+	// indices to scatter rank r's message into, in sender order.
+	sendBuf   []float64
+	sendOff   []int // len K+1
+	recvFix   [][]int32
+	neighbors []int // ranks we exchange with
+
+	step int
+}
+
+// NewDist builds the distributed solver. All ranks must pass identical
+// dom, part and params (the usual SPMD contract).
+func NewDist(comm *par.Comm, dom *geometry.Domain, part *partition.Partition, p Params) (*Dist, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if part.K != comm.Size() {
+		return nil, fmt.Errorf("lb: partition has %d parts for %d ranks", part.K, comm.Size())
+	}
+	if len(part.Parts) != dom.NumSites() {
+		return nil, fmt.Errorf("lb: partition covers %d sites, domain has %d", len(part.Parts), dom.NumSites())
+	}
+	me := comm.Rank()
+	K := comm.Size()
+	m := dom.Model
+
+	d := &Dist{
+		Comm:     comm,
+		Dom:      dom,
+		Tau:      p.Tau,
+		Kind:     p.Kind,
+		M:        m.Q,
+		local:    make([]int32, dom.NumSites()),
+		ioletRho: make([]float64, len(dom.Iolets)),
+		pulses:   make([]*Pulse, len(dom.Iolets)),
+		post:     make([]float64, m.Q),
+		feqBuf:   make([]float64, m.Q),
+	}
+	for k, io := range dom.Iolets {
+		d.ioletRho[k] = 1 + io.Pressure
+	}
+	for i := range d.local {
+		d.local[i] = -1
+	}
+	for g := 0; g < dom.NumSites(); g++ {
+		if int(part.Parts[g]) == me {
+			d.local[g] = int32(len(d.Owned))
+			d.Owned = append(d.Owned, g)
+		}
+	}
+	n := len(d.Owned)
+	d.f = make([]float64, n*m.Q)
+	d.fNew = make([]float64, n*m.Q)
+	d.stream = make([]int32, n*m.Q)
+
+	// Build stream table and the cross-rank send plan. Slots are
+	// ordered by destination rank, then (global source site, dir) —
+	// the same order the receiver reconstructs.
+	type crossLink struct {
+		srcGlobal int
+		q         int
+		li        int // local source index
+	}
+	crossByRank := make([][]crossLink, K)
+	for li, g := range d.Owned {
+		base := li * m.Q
+		d.stream[base] = int32(base)
+		for q := 1; q < m.Q; q++ {
+			link := dom.Sites[g].Links[q-1]
+			switch link.Type {
+			case geometry.LinkFluid:
+				j := dom.Neighbour(g, q)
+				owner := int(part.Parts[j])
+				if owner == me {
+					d.stream[base+q] = int32(int(d.local[j])*m.Q + q)
+				} else {
+					crossByRank[owner] = append(crossByRank[owner], crossLink{g, q, li})
+					d.stream[base+q] = 0 // patched below once slots are assigned
+				}
+			case geometry.LinkWall:
+				d.stream[base+q] = streamWall
+			default:
+				d.stream[base+q] = int32(encodeIolet - link.Iolet)
+			}
+		}
+	}
+	d.sendOff = make([]int, K+1)
+	slot := 0
+	for r := 0; r < K; r++ {
+		d.sendOff[r] = slot
+		links := crossByRank[r]
+		sort.Slice(links, func(a, b int) bool {
+			if links[a].srcGlobal != links[b].srcGlobal {
+				return links[a].srcGlobal < links[b].srcGlobal
+			}
+			return links[a].q < links[b].q
+		})
+		for _, cl := range links {
+			d.stream[cl.li*m.Q+cl.q] = streamCrossBase - int32(slot)
+			slot++
+		}
+		if len(links) > 0 {
+			d.neighbors = append(d.neighbors, r)
+		}
+	}
+	d.sendOff[K] = slot
+	d.sendBuf = make([]float64, slot)
+
+	// Receive plan: for each rank r, enumerate the links (i owned by r,
+	// dir q) whose target j is owned by me, ordered by (i, q) — exactly
+	// the sender's packing order.
+	d.recvFix = make([][]int32, K)
+	recvFrom := map[int]bool{}
+	for _, r := range d.incomingRanks(part) {
+		var links []crossLink
+		for g := 0; g < dom.NumSites(); g++ {
+			if int(part.Parts[g]) != r {
+				continue
+			}
+			for q := 1; q < m.Q; q++ {
+				if dom.Sites[g].Links[q-1].Type != geometry.LinkFluid {
+					continue
+				}
+				j := dom.Neighbour(g, q)
+				if int(part.Parts[j]) == me {
+					links = append(links, crossLink{g, q, int(d.local[j])})
+				}
+			}
+		}
+		sort.Slice(links, func(a, b int) bool {
+			if links[a].srcGlobal != links[b].srcGlobal {
+				return links[a].srcGlobal < links[b].srcGlobal
+			}
+			return links[a].q < links[b].q
+		})
+		fix := make([]int32, len(links))
+		for i, cl := range links {
+			fix[i] = int32(cl.li*m.Q + cl.q)
+		}
+		d.recvFix[r] = fix
+		recvFrom[r] = true
+	}
+	// neighbors = union of send and receive partners (symmetric for
+	// undirected lattice links, but keep it robust).
+	seen := map[int]bool{}
+	for _, r := range d.neighbors {
+		seen[r] = true
+	}
+	for r := range recvFrom {
+		if !seen[r] {
+			d.neighbors = append(d.neighbors, r)
+		}
+	}
+	sort.Ints(d.neighbors)
+
+	d.InitEquilibrium(p.initialRho())
+	return d, nil
+}
+
+// incomingRanks lists ranks owning at least one site adjacent to mine.
+func (d *Dist) incomingRanks(part *partition.Partition) []int {
+	me := d.Comm.Rank()
+	set := map[int]bool{}
+	m := d.Dom.Model
+	for _, g := range d.Owned {
+		for q := 1; q < m.Q; q++ {
+			if d.Dom.Sites[g].Links[q-1].Type != geometry.LinkFluid {
+				continue
+			}
+			j := d.Dom.Neighbour(g, q)
+			if o := int(part.Parts[j]); o != me {
+				set[o] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// InitEquilibrium resets all owned sites to zero-velocity equilibrium.
+func (d *Dist) InitEquilibrium(rho float64) {
+	m := d.Dom.Model
+	for li := range d.Owned {
+		for q := 0; q < m.Q; q++ {
+			d.f[li*m.Q+q] = rho * m.W[q]
+		}
+	}
+	d.step = 0
+}
+
+// NumOwned returns the number of sites owned by this rank.
+func (d *Dist) NumOwned() int { return len(d.Owned) }
+
+// StepCount returns completed steps.
+func (d *Dist) StepCount() int { return d.step }
+
+// SetIoletDensity overrides the imposed density of iolet k on this
+// rank; steering calls it on every rank.
+func (d *Dist) SetIoletDensity(k int, rho float64) error {
+	if k < 0 || k >= len(d.ioletRho) {
+		return fmt.Errorf("lb: iolet %d out of range", k)
+	}
+	d.ioletRho[k] = rho
+	return nil
+}
+
+// SetPulse attaches a sinusoidal modulation to iolet k on this rank;
+// all ranks must call it identically.
+func (d *Dist) SetPulse(k int, p *Pulse) error {
+	if k < 0 || k >= len(d.pulses) {
+		return fmt.Errorf("lb: iolet %d out of range", k)
+	}
+	if p != nil && p.Period <= 0 {
+		return fmt.Errorf("lb: pulse period must be positive")
+	}
+	d.pulses[k] = p
+	return nil
+}
+
+// Step advances one time step: fused collide+stream on owned sites
+// (cross-rank populations packed into sendBuf), halo exchange, scatter,
+// swap.
+func (d *Dist) Step() {
+	m := d.Dom.Model
+	Q := m.Q
+	mv := modelView{Q: m.Q, C: m.C, W: m.W, Opp: m.Opp}
+	invTauPlus := 1.0 / d.Tau
+	invTauMinus := 1.0 / tauMinus(d.Tau)
+	rhoIo := make([]float64, len(d.ioletRho))
+	for k := range rhoIo {
+		rhoIo[k] = effectiveIoletRho(d.ioletRho[k], d.pulses[k], d.step)
+	}
+	for li := range d.Owned {
+		base := li * Q
+		var rho, ux, uy, uz float64
+		for q := 0; q < Q; q++ {
+			v := d.f[base+q]
+			rho += v
+			c := &m.C[q]
+			ux += v * float64(c[0])
+			uy += v * float64(c[1])
+			uz += v * float64(c[2])
+		}
+		if rho > 0 {
+			ux /= rho
+			uy /= rho
+			uz /= rho
+		}
+		u2 := ux*ux + uy*uy + uz*uz
+		copy(d.post, d.f[base:base+Q])
+		collideSite(d.Kind, mv, d.post, 0, rho, ux, uy, uz, invTauPlus, invTauMinus, d.feqBuf)
+		for q := 0; q < Q; q++ {
+			post := d.post[q]
+			dst := d.stream[base+q]
+			switch {
+			case dst >= 0:
+				d.fNew[dst] = post
+			case dst <= streamCrossBase:
+				d.sendBuf[streamCrossBase-dst] = post
+			case dst == streamWall:
+				d.fNew[base+m.Opp[q]] = post
+			default:
+				k := int(encodeIolet - dst)
+				c := &m.C[q]
+				cu := ux*float64(c[0]) + uy*float64(c[1]) + uz*float64(c[2])
+				d.fNew[base+m.Opp[q]] = -post + 2*feqSym(m.W[q], rhoIo[k], cu, u2)
+			}
+		}
+	}
+	// Halo exchange: send packed slices, receive and scatter.
+	for _, r := range d.neighbors {
+		seg := d.sendBuf[d.sendOff[r]:d.sendOff[r+1]]
+		if len(seg) > 0 {
+			d.Comm.SendF64(r, tagHalo, seg)
+		}
+	}
+	for _, r := range d.neighbors {
+		fix := d.recvFix[r]
+		if len(fix) == 0 {
+			continue
+		}
+		data, _ := d.Comm.RecvF64(r, tagHalo)
+		if len(data) != len(fix) {
+			panic(fmt.Sprintf("lb: halo length mismatch from rank %d: %d vs %d", r, len(data), len(fix)))
+		}
+		for i, at := range fix {
+			d.fNew[at] = data[i]
+		}
+	}
+	d.f, d.fNew = d.fNew, d.f
+	d.step++
+}
+
+// Advance runs n steps.
+func (d *Dist) Advance(n int) {
+	for i := 0; i < n; i++ {
+		d.Step()
+	}
+}
+
+// Density returns density at local site li.
+func (d *Dist) Density(li int) float64 {
+	rho := 0.0
+	base := li * d.M
+	for q := 0; q < d.M; q++ {
+		rho += d.f[base+q]
+	}
+	return rho
+}
+
+// Velocity returns the velocity at local site li.
+func (d *Dist) Velocity(li int) (ux, uy, uz float64) {
+	m := d.Dom.Model
+	base := li * m.Q
+	rho := 0.0
+	for q := 0; q < m.Q; q++ {
+		v := d.f[base+q]
+		rho += v
+		c := &m.C[q]
+		ux += v * float64(c[0])
+		uy += v * float64(c[1])
+		uz += v * float64(c[2])
+	}
+	if rho > 0 {
+		ux /= rho
+		uy /= rho
+		uz /= rho
+	}
+	return
+}
+
+// TotalMass returns the global mass (allreduce over ranks).
+func (d *Dist) TotalMass() float64 {
+	local := 0.0
+	for li := range d.Owned {
+		local += d.Density(li)
+	}
+	return d.Comm.AllreduceScalar(par.OpSum, local)
+}
+
+// GatherFields collects the full global (rho, ux, uy, uz) fields at
+// root rank, indexed by global site id; non-root ranks receive nils.
+// The §V octree is built from this snapshot when a steering client
+// asks for reduced data.
+func (d *Dist) GatherFields(root int) (rho, ux, uy, uz []float64) {
+	n := len(d.Owned)
+	buf := make([]float64, 5*n)
+	for li, g := range d.Owned {
+		vx, vy, vz := d.Velocity(li)
+		buf[5*li] = float64(g)
+		buf[5*li+1] = d.Density(li)
+		buf[5*li+2] = vx
+		buf[5*li+3] = vy
+		buf[5*li+4] = vz
+	}
+	parts := d.Comm.Gather(root, buf)
+	if parts == nil {
+		return nil, nil, nil, nil
+	}
+	N := d.Dom.NumSites()
+	rho = make([]float64, N)
+	ux = make([]float64, N)
+	uy = make([]float64, N)
+	uz = make([]float64, N)
+	for _, p := range parts {
+		for i := 0; i+4 < len(p); i += 5 {
+			g := int(p[i])
+			rho[g], ux[g], uy[g], uz[g] = p[i+1], p[i+2], p[i+3], p[i+4]
+		}
+	}
+	return rho, ux, uy, uz
+}
+
+// GatherVelocity collects the full global velocity field at root rank
+// as (ux, uy, uz) indexed by global site id; non-root ranks receive
+// nils. Used by the naive (non-in-situ) post-processing baseline.
+func (d *Dist) GatherVelocity(root int) (ux, uy, uz []float64) {
+	n := len(d.Owned)
+	buf := make([]float64, 4*n)
+	for li, g := range d.Owned {
+		vx, vy, vz := d.Velocity(li)
+		buf[4*li] = float64(g)
+		buf[4*li+1] = vx
+		buf[4*li+2] = vy
+		buf[4*li+3] = vz
+	}
+	parts := d.Comm.Gather(root, buf)
+	if parts == nil {
+		return nil, nil, nil
+	}
+	N := d.Dom.NumSites()
+	ux = make([]float64, N)
+	uy = make([]float64, N)
+	uz = make([]float64, N)
+	for _, p := range parts {
+		for i := 0; i+3 < len(p); i += 4 {
+			g := int(p[i])
+			ux[g], uy[g], uz[g] = p[i+1], p[i+2], p[i+3]
+		}
+	}
+	return ux, uy, uz
+}

@@ -1,0 +1,240 @@
+package lb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/par"
+	"repro/internal/partition"
+)
+
+func pipePartition(t testing.TB, dom *geometry.Domain, k int, m partition.Method) *partition.Partition {
+	t.Helper()
+	g := partition.FromDomain(dom)
+	p, err := partition.ByMethod(m, g, k, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDistMatchesSerial is the keystone integration test: the
+// distributed solver on K ranks must produce bitwise-comparable fields
+// to the serial solver after the same number of steps (identical
+// arithmetic, only the ownership differs).
+func TestDistMatchesSerial(t *testing.T) {
+	dom := pipeDomain(t, 16, 3, 1.0)
+	serial, err := New(dom, Params{Tau: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 40
+	serial.Advance(steps)
+
+	for _, k := range []int{1, 2, 4, 7} {
+		part := pipePartition(t, dom, k, partition.MethodMultilevel)
+		rt := par.NewRuntime(k)
+		type result struct {
+			owned []int
+			rho   []float64
+			ux    []float64
+		}
+		results := make([]result, k)
+		rt.Run(func(c *par.Comm) {
+			d, err := NewDist(c, dom, part, Params{Tau: 0.9})
+			if err != nil {
+				panic(err)
+			}
+			d.Advance(steps)
+			r := result{owned: d.Owned}
+			for li := range d.Owned {
+				r.rho = append(r.rho, d.Density(li))
+				vx, _, _ := d.Velocity(li)
+				r.ux = append(r.ux, vx)
+			}
+			results[c.Rank()] = r
+		})
+		for rank, r := range results {
+			for li, g := range r.owned {
+				wantRho := serial.Density(g)
+				if math.Abs(r.rho[li]-wantRho) > 1e-11 {
+					t.Fatalf("k=%d rank=%d site %d: rho %v vs serial %v", k, rank, g, r.rho[li], wantRho)
+				}
+				sx, _, _ := serial.Velocity(g)
+				if math.Abs(r.ux[li]-sx) > 1e-11 {
+					t.Fatalf("k=%d rank=%d site %d: ux %v vs serial %v", k, rank, g, r.ux[li], sx)
+				}
+			}
+		}
+	}
+}
+
+func TestDistOwnershipCoversDomain(t *testing.T) {
+	dom := pipeDomain(t, 16, 3, 1.0)
+	const k = 4
+	part := pipePartition(t, dom, k, partition.MethodRCB)
+	rt := par.NewRuntime(k)
+	counts := make([]int, k)
+	rt.Run(func(c *par.Comm) {
+		d, err := NewDist(c, dom, part, Params{Tau: 0.9})
+		if err != nil {
+			panic(err)
+		}
+		counts[c.Rank()] = d.NumOwned()
+	})
+	total := 0
+	for _, n := range counts {
+		if n == 0 {
+			t.Error("a rank owns zero sites")
+		}
+		total += n
+	}
+	if total != dom.NumSites() {
+		t.Errorf("ranks own %d sites, domain has %d", total, dom.NumSites())
+	}
+}
+
+func TestDistValidatesInputs(t *testing.T) {
+	dom := pipeDomain(t, 16, 3, 1.0)
+	part := pipePartition(t, dom, 2, partition.MethodBlock)
+	rt := par.NewRuntime(4) // mismatched rank count
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic from mismatched partition size")
+		}
+	}()
+	rt.Run(func(c *par.Comm) {
+		if _, err := NewDist(c, dom, part, Params{Tau: 0.9}); err != nil {
+			panic(err)
+		}
+	})
+}
+
+func TestDistMassConservationClosed(t *testing.T) {
+	dom := closedBox(t)
+	const k = 3
+	part := pipePartition(t, dom, k, partition.MethodMorton)
+	rt := par.NewRuntime(k)
+	var m0, m1 float64
+	rt.Run(func(c *par.Comm) {
+		d, err := NewDist(c, dom, part, Params{Tau: 0.8})
+		if err != nil {
+			panic(err)
+		}
+		a := d.TotalMass()
+		d.Advance(30)
+		b := d.TotalMass()
+		if c.Rank() == 0 {
+			m0, m1 = a, b
+		}
+	})
+	if rel := math.Abs(m1-m0) / m0; rel > 1e-12 {
+		t.Errorf("distributed mass drifted by %v", rel)
+	}
+}
+
+func TestDistHaloTrafficScalesWithBoundary(t *testing.T) {
+	dom := pipeDomain(t, 24, 4, 1.0)
+	g := partition.FromDomain(dom)
+
+	traffic := func(p *partition.Partition) int64 {
+		rt := par.NewRuntime(4)
+		rt.Run(func(c *par.Comm) {
+			d, err := NewDist(c, dom, p, Params{Tau: 0.9})
+			if err != nil {
+				panic(err)
+			}
+			rt.Traffic().Reset() // ignore setup traffic
+			d.Advance(5)
+		})
+		return rt.Traffic().Bytes()
+	}
+	pML, err := partition.ByMethod(partition.MethodMultilevel, g, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin assignment: maximal scattering, the no-locality
+	// baseline a partitioner exists to avoid.
+	pRR := &partition.Partition{K: 4, Parts: make([]int32, g.N)}
+	for v := 0; v < g.N; v++ {
+		pRR.Parts[v] = int32(v % 4)
+	}
+	tML := traffic(pML)
+	tRR := traffic(pRR)
+	if tML <= 0 {
+		t.Fatal("no halo traffic measured")
+	}
+	if tML*3 >= tRR {
+		t.Errorf("multilevel halo bytes %d should be at least 3x below round-robin %d", tML, tRR)
+	}
+}
+
+func TestDistGatherVelocity(t *testing.T) {
+	dom := pipeDomain(t, 16, 3, 1.0)
+	serial, err := New(dom, Params{Tau: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.Advance(20)
+	const k = 3
+	part := pipePartition(t, dom, k, partition.MethodMultilevel)
+	rt := par.NewRuntime(k)
+	var gx, gy, gz []float64
+	rt.Run(func(c *par.Comm) {
+		d, err := NewDist(c, dom, part, Params{Tau: 0.9})
+		if err != nil {
+			panic(err)
+		}
+		d.Advance(20)
+		ux, uy, uz := d.GatherVelocity(0)
+		if c.Rank() == 0 {
+			gx, gy, gz = ux, uy, uz
+		} else if ux != nil {
+			panic("non-root got data")
+		}
+	})
+	for i := 0; i < dom.NumSites(); i += 11 {
+		sx, sy, sz := serial.Velocity(i)
+		if math.Abs(gx[i]-sx) > 1e-11 || math.Abs(gy[i]-sy) > 1e-11 || math.Abs(gz[i]-sz) > 1e-11 {
+			t.Fatalf("site %d: gathered (%v,%v,%v) vs serial (%v,%v,%v)", i, gx[i], gy[i], gz[i], sx, sy, sz)
+		}
+	}
+}
+
+func TestDistSetIoletDensity(t *testing.T) {
+	dom := pipeDomain(t, 16, 3, 1.0)
+	const k = 2
+	part := pipePartition(t, dom, k, partition.MethodRCB)
+	rt := par.NewRuntime(k)
+	rt.Run(func(c *par.Comm) {
+		d, err := NewDist(c, dom, part, Params{Tau: 0.9})
+		if err != nil {
+			panic(err)
+		}
+		if err := d.SetIoletDensity(0, 1.02); err != nil {
+			panic(err)
+		}
+		if err := d.SetIoletDensity(9, 1.0); err == nil {
+			panic("bad iolet index accepted")
+		}
+		d.Advance(5)
+	})
+}
+
+func BenchmarkDistStep4Ranks(b *testing.B) {
+	dom := pipeDomain(b, 24, 5, 1.0)
+	part := pipePartition(b, dom, 4, partition.MethodMultilevel)
+	rt := par.NewRuntime(4)
+	b.ResetTimer()
+	rt.Run(func(c *par.Comm) {
+		d, err := NewDist(c, dom, part, Params{Tau: 0.9})
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < b.N; i++ {
+			d.Step()
+		}
+	})
+	b.ReportMetric(float64(dom.NumSites())*float64(b.N)/b.Elapsed().Seconds()/1e6, "MLUPS")
+}

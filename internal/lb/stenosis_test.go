@@ -1,0 +1,144 @@
+package lb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/lattice"
+)
+
+// TestStenosisPhysics: flow through a 50% stenosis must accelerate in
+// the throat (mass conservation through a smaller cross-section) and
+// concentrate wall shear stress there — the clinical signature.
+func TestStenosisPhysics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long relaxation run")
+	}
+	const length, radius = 24.0, 4.0
+	dom, err := geometry.Voxelise(geometry.Stenosis(length, radius, 0.5), 1.0, lattice.D3Q19())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(dom, Params{Tau: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Advance(2500)
+
+	// Peak axial speed near the throat (z ≈ length/2) vs the inlet
+	// section (z ≈ length/6).
+	peakAt := func(zc float64) float64 {
+		peak := 0.0
+		for i, site := range dom.Sites {
+			w := dom.World(site.Pos)
+			if math.Abs(w.Z-zc) > 1.0 {
+				continue
+			}
+			_, _, uz := s.Velocity(i)
+			if uz > peak {
+				peak = uz
+			}
+		}
+		return peak
+	}
+	throat := peakAt(length / 2)
+	upstream := peakAt(length / 6)
+	if throat <= upstream*1.5 {
+		t.Errorf("throat peak %v not accelerated vs upstream %v", throat, upstream)
+	}
+
+	// WSS maximum must be in the narrowed section (z within ±25% of
+	// mid-length).
+	maxWSS, maxZ := 0.0, 0.0
+	for i, site := range dom.Sites {
+		if site.Flags&geometry.FlagWall == 0 {
+			continue
+		}
+		if w := s.WallShearStress(i); w > maxWSS {
+			maxWSS = w
+			maxZ = dom.World(site.Pos).Z
+		}
+	}
+	if maxWSS == 0 {
+		t.Fatal("no wall shear stress measured")
+	}
+	if math.Abs(maxZ-length/2) > length*0.3 {
+		t.Errorf("peak WSS at z=%v, expected near the throat z=%v", maxZ, length/2)
+	}
+}
+
+// TestStenosisSeverityControlsSites: higher severity removes fluid
+// volume.
+func TestStenosisSeverityControlsSites(t *testing.T) {
+	mild, err := geometry.Voxelise(geometry.Stenosis(24, 4, 0.3), 1.0, lattice.D3Q19())
+	if err != nil {
+		t.Fatal(err)
+	}
+	severe, err := geometry.Voxelise(geometry.Stenosis(24, 4, 0.7), 1.0, lattice.D3Q19())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if severe.NumSites() >= mild.NumSites() {
+		t.Errorf("70%% stenosis (%d sites) should have fewer sites than 30%% (%d)",
+			severe.NumSites(), mild.NumSites())
+	}
+}
+
+// TestD3Q15Solver: the reduced velocity set must also satisfy the
+// conservation and Poiseuille behaviour (the model ablation).
+func TestD3Q15Solver(t *testing.T) {
+	dom, err := geometry.Voxelise(geometry.Pipe(16, 3), 1.0, lattice.D3Q15())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(dom, Params{Tau: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := s.TotalMass()
+	s.Advance(300)
+	// Mean flow develops towards +z.
+	mean := 0.0
+	for i := 0; i < s.NumSites(); i++ {
+		_, _, uz := s.Velocity(i)
+		mean += uz
+	}
+	if mean <= 0 {
+		t.Error("no D3Q15 flow developed")
+	}
+	// Mass bounded (iolets exchange mass but must stay near the base).
+	if rel := math.Abs(s.TotalMass()-m0) / m0; rel > 0.05 {
+		t.Errorf("D3Q15 mass drifted %v", rel)
+	}
+}
+
+func BenchmarkModelAblation(b *testing.B) {
+	for _, m := range []struct {
+		name string
+		mk   func() *latticeModel
+	}{
+		{"D3Q19", func() *latticeModel { return lattice.D3Q19() }},
+		{"D3Q15", func() *latticeModel { return lattice.D3Q15() }},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			dom, err := geometry.Voxelise(geometry.Pipe(24, 5), 1.0, m.mk())
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := New(dom, Params{Tau: 0.9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.CollideStreamLocal()
+				s.Swap()
+			}
+			b.ReportMetric(float64(s.NumSites())*float64(b.N)/b.Elapsed().Seconds()/1e6, "MLUPS")
+		})
+	}
+}
+
+// latticeModel aliases the model type for the ablation table above.
+type latticeModel = lattice.Model

@@ -1,0 +1,299 @@
+package octree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geometry"
+	"repro/internal/lattice"
+	"repro/internal/vec"
+)
+
+func testTree(t testing.TB) (*geometry.Domain, *Tree, Fields) {
+	t.Helper()
+	dom, err := geometry.Voxelise(geometry.Aneurysm(16, 3, 4), 1.0, lattice.D3Q19())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := dom.NumSites()
+	f := Fields{
+		Rho: make([]float64, n),
+		Ux:  make([]float64, n),
+		Uy:  make([]float64, n),
+		Uz:  make([]float64, n),
+		WSS: make([]float64, n),
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < n; i++ {
+		f.Rho[i] = 1 + 0.01*rng.NormFloat64()
+		f.Ux[i] = rng.NormFloat64() * 0.01
+		f.Uy[i] = rng.NormFloat64() * 0.01
+		f.Uz[i] = 0.05 + 0.01*rng.NormFloat64()
+		f.WSS[i] = math.Abs(rng.NormFloat64()) * 0.001
+	}
+	tree, err := Build(dom, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dom, tree, f
+}
+
+func TestMortonRoundTripProperty(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		xi, yi, zi := int(x%2048), int(y%2048), int(z%2048)
+		gx, gy, gz := unmorton(morton(xi, yi, zi))
+		return gx == xi && gy == yi && gz == zi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMortonParentChild(t *testing.T) {
+	// A child's key shifted right by 3 gives its parent cell.
+	k := morton(5, 3, 7)
+	pk := k >> 3
+	px, py, pz := unmorton(pk)
+	if px != 2 || py != 1 || pz != 3 {
+		t.Errorf("parent of (5,3,7) = (%d,%d,%d), want (2,1,3)", px, py, pz)
+	}
+}
+
+func TestBuildValidatesFieldLengths(t *testing.T) {
+	dom, _, _ := testTree(t)
+	if _, err := Build(dom, Fields{Rho: []float64{1}}); err == nil {
+		t.Error("short fields accepted")
+	}
+}
+
+func TestLeafCountEqualsSites(t *testing.T) {
+	dom, tree, _ := testTree(t)
+	if got := tree.NodeCount(0); got != dom.NumSites() {
+		t.Errorf("level 0 has %d nodes, want %d sites", got, dom.NumSites())
+	}
+	if root := tree.Root(); root == nil || root.Count != dom.NumSites() {
+		t.Errorf("root count = %+v, want %d", root, dom.NumSites())
+	}
+}
+
+func TestLevelCountsDecrease(t *testing.T) {
+	_, tree, _ := testTree(t)
+	for l := 1; l < tree.Depth(); l++ {
+		if tree.NodeCount(l) > tree.NodeCount(l-1) {
+			t.Errorf("level %d has more nodes (%d) than level %d (%d)",
+				l, tree.NodeCount(l), l-1, tree.NodeCount(l-1))
+		}
+	}
+	if tree.NodeCount(tree.Depth()-1) != 1 {
+		t.Errorf("top level should hold the single root, has %d", tree.NodeCount(tree.Depth()-1))
+	}
+}
+
+func TestAggregationConservesMeans(t *testing.T) {
+	dom, tree, f := testTree(t)
+	// Root mean velocity must equal the site average.
+	var sum vec.V3
+	var rhoSum, wssMax float64
+	for i := 0; i < dom.NumSites(); i++ {
+		sum = sum.Add(vec.New(f.Ux[i], f.Uy[i], f.Uz[i]))
+		rhoSum += f.Rho[i]
+		if f.WSS[i] > wssMax {
+			wssMax = f.WSS[i]
+		}
+	}
+	n := float64(dom.NumSites())
+	root := tree.Root()
+	if root.MeanU.Dist(sum.Div(n)) > 1e-9 {
+		t.Errorf("root mean U %v, want %v", root.MeanU, sum.Div(n))
+	}
+	if math.Abs(root.MeanRho-rhoSum/n) > 1e-9 {
+		t.Errorf("root mean rho %v, want %v", root.MeanRho, rhoSum/n)
+	}
+	if math.Abs(root.MaxWSS-wssMax) > 1e-12 {
+		t.Errorf("root max WSS %v, want %v", root.MaxWSS, wssMax)
+	}
+}
+
+func TestCountConservationPerLevel(t *testing.T) {
+	dom, tree, _ := testTree(t)
+	for l := 0; l < tree.Depth(); l++ {
+		total := 0
+		for _, n := range tree.Level(l) {
+			total += n.Count
+		}
+		if total != dom.NumSites() {
+			t.Errorf("level %d covers %d sites, want %d", l, total, dom.NumSites())
+		}
+	}
+}
+
+func TestChildrenLinkage(t *testing.T) {
+	_, tree, _ := testTree(t)
+	for l := 1; l < tree.Depth(); l++ {
+		for _, n := range tree.Level(l) {
+			kids := tree.Children(n)
+			if len(kids) == 0 {
+				t.Fatalf("level %d node %d has no children", l, n.Key)
+			}
+			count := 0
+			for _, c := range kids {
+				if c.Key>>3 != n.Key {
+					t.Fatalf("child key %d not under parent %d", c.Key, n.Key)
+				}
+				count += c.Count
+			}
+			if count != n.Count {
+				t.Fatalf("children cover %d, parent says %d", count, n.Count)
+			}
+		}
+	}
+}
+
+func TestLevelIsZOrdered(t *testing.T) {
+	_, tree, _ := testTree(t)
+	nodes := tree.Level(1)
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].Key >= nodes[i].Key {
+			t.Fatal("Level output not in ascending Z-order")
+		}
+	}
+}
+
+func TestQueryCoversDomainOnce(t *testing.T) {
+	dom, tree, _ := testTree(t)
+	mid := dom.Sites[dom.NumSites()/2].Pos.F()
+	roi := ROI{
+		Box:          vec.NewBox(mid.Sub(vec.Splat(4)), mid.Add(vec.Splat(4))),
+		DetailLevel:  0,
+		ContextLevel: 3,
+	}
+	nodes, err := tree.Query(roi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CoverCount(nodes) != dom.NumSites() {
+		t.Errorf("query covers %d sites, want %d", CoverCount(nodes), dom.NumSites())
+	}
+	// There must be a mix of levels: detail inside, context outside.
+	levels := map[int]int{}
+	for _, n := range nodes {
+		levels[n.Level]++
+	}
+	if levels[0] == 0 {
+		t.Error("no detail-level nodes in ROI")
+	}
+	coarse := 0
+	for l, c := range levels {
+		if l > 0 {
+			coarse += c
+		}
+	}
+	if coarse == 0 {
+		t.Error("no context-level nodes outside ROI")
+	}
+}
+
+func TestQueryReducesDataVolume(t *testing.T) {
+	dom, tree, _ := testTree(t)
+	full := tree.Level(0)
+	roi := ROI{
+		Box:          vec.NewBox(vec.New(10, 10, 10), vec.New(14, 14, 14)),
+		DetailLevel:  0,
+		ContextLevel: 4,
+	}
+	nodes, err := tree.Query(roi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DataVolume(nodes) >= DataVolume(full) {
+		t.Errorf("ROI volume %d should be below full-res %d", DataVolume(nodes), DataVolume(full))
+	}
+	_ = dom
+}
+
+func TestQueryValidatesLevels(t *testing.T) {
+	_, tree, _ := testTree(t)
+	if _, err := tree.Query(ROI{DetailLevel: 5, ContextLevel: 2}); err == nil {
+		t.Error("detail > context accepted")
+	}
+	if _, err := tree.Query(ROI{DetailLevel: -1, ContextLevel: 2}); err == nil {
+		t.Error("negative detail accepted")
+	}
+	if _, err := tree.Query(ROI{DetailLevel: 0, ContextLevel: 99}); err == nil {
+		t.Error("context beyond depth accepted")
+	}
+}
+
+func TestSampleVelocity(t *testing.T) {
+	dom, tree, f := testTree(t)
+	// At level 0 the sample equals the site value exactly.
+	for i := 0; i < dom.NumSites(); i += 13 {
+		p := dom.Sites[i].Pos
+		u, ok := tree.SampleVelocity(p, 0)
+		if !ok {
+			t.Fatalf("no sample at fluid site %v", p)
+		}
+		want := vec.New(f.Ux[i], f.Uy[i], f.Uz[i])
+		if u.Dist(want) > 1e-12 {
+			t.Fatalf("sample at %v = %v, want %v", p, u, want)
+		}
+	}
+	// Outside the fluid but within the root cell, coarse levels answer.
+	if _, ok := tree.SampleVelocity(vec.I3{X: 0, Y: 0, Z: 0}, 0); ok {
+		// corner may or may not be fluid; just ensure no panic.
+		_ = ok
+	}
+}
+
+func TestNodeGeometry(t *testing.T) {
+	n := &Node{Level: 2, Key: morton(1, 2, 3) /* cell coords at level 2 */}
+	o := n.Origin()
+	if o.X != 4 || o.Y != 8 || o.Z != 12 {
+		t.Errorf("origin = %v, want (4,8,12)", o)
+	}
+	if n.Size() != 4 {
+		t.Errorf("size = %d", n.Size())
+	}
+	b := n.Box()
+	if b.Min.X != 4 || b.Max.X != 8 {
+		t.Errorf("box = %+v", b)
+	}
+}
+
+func TestLevelResolution(t *testing.T) {
+	if LevelResolution(0) != 1 || LevelResolution(3) != 8 {
+		t.Error("LevelResolution wrong")
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	dom, _, _ := testTree(b)
+	n := dom.NumSites()
+	f := Fields{
+		Rho: make([]float64, n), Ux: make([]float64, n),
+		Uy: make([]float64, n), Uz: make([]float64, n),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(dom, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryROI(b *testing.B) {
+	_, tree, _ := testTree(b)
+	roi := ROI{
+		Box:          vec.NewBox(vec.New(8, 8, 8), vec.New(16, 16, 16)),
+		DetailLevel:  0,
+		ContextLevel: 3,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Query(roi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package octree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestEncodeDecodeNodesRoundTrip(t *testing.T) {
+	_, tree, _ := testTree(t)
+	roi := ROI{
+		Box:          vec.NewBox(vec.New(8, 8, 8), vec.New(16, 16, 16)),
+		DetailLevel:  0,
+		ContextLevel: 3,
+	}
+	nodes, err := tree.Query(roi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := EncodeNodes(nodes)
+	got, err := DecodeNodes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(nodes) {
+		t.Fatalf("decoded %d nodes, want %d", len(got), len(nodes))
+	}
+	for i, n := range nodes {
+		g := got[i]
+		if g.Level != n.Level || g.Key != n.Key || g.Count != n.Count {
+			t.Fatalf("node %d identity mismatch: %+v vs %+v", i, g, n)
+		}
+		// Fields survive as float32.
+		if math.Abs(g.MeanRho-n.MeanRho) > 1e-6 {
+			t.Fatalf("node %d rho %v vs %v", i, g.MeanRho, n.MeanRho)
+		}
+		if g.MeanU.Dist(n.MeanU) > 1e-6 {
+			t.Fatalf("node %d u %v vs %v", i, g.MeanU, n.MeanU)
+		}
+		if math.Abs(g.MaxWSS-n.MaxWSS) > 1e-6 {
+			t.Fatalf("node %d wss %v vs %v", i, g.MaxWSS, n.MaxWSS)
+		}
+	}
+	// Coverage must survive the wire.
+	if CoverCount(got) != CoverCount(nodes) {
+		t.Error("cover count changed across serialisation")
+	}
+}
+
+func TestDecodeNodesRejectsGarbage(t *testing.T) {
+	if _, err := DecodeNodes(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := DecodeNodes([]byte{1, 2}); err == nil {
+		t.Error("short header accepted")
+	}
+	// Valid header claiming nodes but no payload.
+	if _, err := DecodeNodes([]byte{5, 0, 0, 0}); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	// Implausible count.
+	if _, err := DecodeNodes([]byte{0xff, 0xff, 0xff, 0x7f}); err == nil {
+		t.Error("huge count accepted")
+	}
+	// Trailing junk.
+	_, tree, _ := testTree(t)
+	data := EncodeNodes(tree.Level(3))
+	if _, err := DecodeNodes(append(data, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestEncodeNodesEmpty(t *testing.T) {
+	data := EncodeNodes(nil)
+	got, err := DecodeNodes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("decoded %d nodes from empty stream", len(got))
+	}
+}

@@ -1,0 +1,335 @@
+// Package par provides a simulated message-passing runtime: the MPI
+// substitute this repository runs on.
+//
+// The paper's system (HemeLB plus its in situ pre-/post-processing) is
+// an MPI application. This environment has no MPI, so par reproduces the
+// programming model at laptop scale: a Runtime launches P logical ranks
+// as goroutines, each receiving a *Comm handle providing point-to-point
+// messaging, collectives and subcommunicators. Every byte moved through
+// a Comm is metered, which is what the paper's co-design questions
+// (communication cost of visualisation algorithms, file-read
+// distribution cost, halo-exchange volume) need measured.
+//
+// Messages are matched MPI-style on (communicator, source, tag) with
+// non-overtaking order per (source, dest, tag) pair. Payloads are Go
+// slices; the typed helpers (SendF64 etc.) copy on send so callers may
+// reuse buffers immediately. The untyped Send shares the slice by
+// reference, mirroring MPI's buffer-ownership rule: the sender must not
+// mutate it until the receiver is done.
+package par
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TagUser is the first tag value available to applications; tags below
+// it are reserved for internal collectives.
+const TagUser = 1024
+
+// AnySource matches messages from any rank in Recv.
+const AnySource = -1
+
+// message is an envelope queued at the receiver.
+type message struct {
+	cid  uint64 // communicator identity
+	src  int    // sender's rank local to that communicator
+	tag  int
+	data any
+	size int // metered payload bytes
+}
+
+// mailbox is one rank's incoming queue with (cid, src, tag) matching.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.q = append(mb.q, m)
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// get blocks until a message matching (cid, src, tag) is available and
+// removes it. src == AnySource matches any sender.
+func (mb *mailbox) get(cid uint64, src, tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.q {
+			if m.cid == cid && (src == AnySource || m.src == src) && m.tag == tag {
+				mb.q = append(mb.q[:i], mb.q[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// Traffic accumulates communication metering for one runtime.
+type Traffic struct {
+	mu        sync.Mutex
+	bytes     int64
+	messages  int64
+	perRank   []int64 // bytes sent by each world rank
+	collCalls int64
+}
+
+// Bytes returns total payload bytes sent through the runtime.
+func (t *Traffic) Bytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.bytes
+}
+
+// Messages returns the total number of point-to-point messages.
+func (t *Traffic) Messages() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.messages
+}
+
+// CollectiveCalls returns the number of collective operations executed
+// (counted once per participating rank group, at the initiating call).
+func (t *Traffic) CollectiveCalls() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.collCalls
+}
+
+// PerRankBytes returns a copy of the bytes-sent-per-world-rank vector.
+func (t *Traffic) PerRankBytes() []int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int64, len(t.perRank))
+	copy(out, t.perRank)
+	return out
+}
+
+// Reset zeroes all counters.
+func (t *Traffic) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bytes, t.messages, t.collCalls = 0, 0, 0
+	for i := range t.perRank {
+		t.perRank[i] = 0
+	}
+}
+
+func (t *Traffic) addSend(worldRank, n int) {
+	t.mu.Lock()
+	t.bytes += int64(n)
+	t.messages++
+	if worldRank >= 0 && worldRank < len(t.perRank) {
+		t.perRank[worldRank] += int64(n)
+	}
+	t.mu.Unlock()
+}
+
+func (t *Traffic) addColl() {
+	t.mu.Lock()
+	t.collCalls++
+	t.mu.Unlock()
+}
+
+// Runtime owns the mailboxes and the traffic meter for a group of
+// logical ranks.
+type Runtime struct {
+	size    int
+	boxes   []*mailbox
+	traffic *Traffic
+}
+
+// NewRuntime creates a runtime for size ranks.
+func NewRuntime(size int) *Runtime {
+	if size <= 0 {
+		panic(fmt.Sprintf("par: runtime size must be positive, got %d", size))
+	}
+	r := &Runtime{
+		size:    size,
+		boxes:   make([]*mailbox, size),
+		traffic: &Traffic{perRank: make([]int64, size)},
+	}
+	for i := range r.boxes {
+		r.boxes[i] = newMailbox()
+	}
+	return r
+}
+
+// Size returns the number of ranks in the runtime.
+func (r *Runtime) Size() int { return r.size }
+
+// Traffic returns the runtime's traffic meter.
+func (r *Runtime) Traffic() *Traffic { return r.traffic }
+
+// Run launches fn on every rank concurrently and waits for all ranks to
+// finish. Each invocation receives that rank's world communicator. If
+// any rank panics, Run re-panics on the caller with the first rank's
+// panic value after all ranks have returned; callers relying on this
+// must ensure the panic does not leave peers blocked (tests use small
+// rank counts where this holds).
+func (r *Runtime) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, r.size)
+	for rank := 0; rank < r.size; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			fn(&Comm{rt: r, rank: rank, size: r.size, ranks: nil, cid: 0})
+		}(rank)
+	}
+	wg.Wait()
+	for rank, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("par: rank %d panicked: %v", rank, p))
+		}
+	}
+}
+
+// Comm is one rank's communicator handle. The world communicator spans
+// all runtime ranks; Split produces subcommunicators. Methods must only
+// be called from the goroutine owning the rank, as in MPI.
+type Comm struct {
+	rt    *Runtime
+	rank  int    // rank within this communicator
+	size  int    // size of this communicator
+	ranks []int  // world ranks of members; nil means identity (world)
+	cid   uint64 // communicator identity for message matching
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.size }
+
+// Runtime returns the runtime this communicator belongs to.
+func (c *Comm) Runtime() *Runtime { return c.rt }
+
+// WorldRank returns the caller's rank in the world communicator.
+func (c *Comm) WorldRank() int {
+	if c.ranks == nil {
+		return c.rank
+	}
+	return c.ranks[c.rank]
+}
+
+func (c *Comm) world(rank int) int {
+	if c.ranks == nil {
+		return rank
+	}
+	return c.ranks[rank]
+}
+
+func payloadSize(data any) int {
+	switch d := data.(type) {
+	case nil:
+		return 0
+	case []float64:
+		return 8 * len(d)
+	case []float32:
+		return 4 * len(d)
+	case []int64:
+		return 8 * len(d)
+	case []int32:
+		return 4 * len(d)
+	case []int:
+		return 8 * len(d)
+	case []byte:
+		return len(d)
+	case float64, int64, int:
+		return 8
+	case int32, float32:
+		return 4
+	default:
+		// Unknown payloads are metered at a nominal word; callers that
+		// care about metering use typed helpers.
+		return 8
+	}
+}
+
+// Send delivers data to dest with the given tag. It never blocks (the
+// simulated network has unbounded buffering), matching a guaranteed-
+// buffered MPI send.
+func (c *Comm) Send(dest, tag int, data any) {
+	if dest < 0 || dest >= c.size {
+		panic(fmt.Sprintf("par: Send dest %d out of range [0,%d)", dest, c.size))
+	}
+	n := payloadSize(data)
+	c.rt.traffic.addSend(c.WorldRank(), n)
+	c.rt.boxes[c.world(dest)].put(message{cid: c.cid, src: c.rank, tag: tag, data: data, size: n})
+}
+
+// Recv blocks until a message with matching source and tag arrives on
+// this communicator and returns its payload and actual source. src may
+// be AnySource.
+func (c *Comm) Recv(src, tag int) (data any, from int) {
+	m := c.rt.boxes[c.WorldRank()].get(c.cid, src, tag)
+	return m.data, m.src
+}
+
+// SendF64 sends a float64 slice, copied so the caller may reuse its
+// buffer immediately.
+func (c *Comm) SendF64(dest, tag int, data []float64) {
+	c.Send(dest, tag, append([]float64(nil), data...))
+}
+
+// RecvF64 receives a float64 slice.
+func (c *Comm) RecvF64(src, tag int) ([]float64, int) {
+	d, from := c.Recv(src, tag)
+	if d == nil {
+		return nil, from
+	}
+	return d.([]float64), from
+}
+
+// SendBytes sends a byte slice (copied).
+func (c *Comm) SendBytes(dest, tag int, data []byte) {
+	c.Send(dest, tag, append([]byte(nil), data...))
+}
+
+// RecvBytes receives a byte slice.
+func (c *Comm) RecvBytes(src, tag int) ([]byte, int) {
+	d, from := c.Recv(src, tag)
+	if d == nil {
+		return nil, from
+	}
+	return d.([]byte), from
+}
+
+// SendInts sends an int slice (copied).
+func (c *Comm) SendInts(dest, tag int, data []int) {
+	c.Send(dest, tag, append([]int(nil), data...))
+}
+
+// RecvInts receives an int slice.
+func (c *Comm) RecvInts(src, tag int) ([]int, int) {
+	d, from := c.Recv(src, tag)
+	if d == nil {
+		return nil, from
+	}
+	return d.([]int), from
+}
+
+// SendRecvF64 exchanges float64 payloads with a partner rank in one
+// call, the canonical halo-exchange primitive. Both sides must call it
+// with mirrored arguments.
+func (c *Comm) SendRecvF64(partner, tag int, send []float64) []float64 {
+	c.SendF64(partner, tag, send)
+	d, _ := c.RecvF64(partner, tag)
+	return d
+}

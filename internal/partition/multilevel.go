@@ -1,0 +1,352 @@
+package partition
+
+import (
+	"math/rand"
+
+	"repro/internal/vec"
+)
+
+// MLOptions tunes the multilevel k-way partitioner.
+type MLOptions struct {
+	// CoarsenTo stops coarsening when the graph has at most this many
+	// vertices (default 30*k, floor 60).
+	CoarsenTo int
+	// RefinePasses is the number of boundary-refinement sweeps per
+	// uncoarsening level (default 4).
+	RefinePasses int
+	// ImbalanceTol is the allowed max/mean part-weight ratio during
+	// refinement (default 1.05, ParMETIS's usual 5%).
+	ImbalanceTol float64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (o MLOptions) withDefaults(k int) MLOptions {
+	if o.CoarsenTo == 0 {
+		o.CoarsenTo = 30 * k
+		if o.CoarsenTo < 60 {
+			o.CoarsenTo = 60
+		}
+	}
+	if o.RefinePasses == 0 {
+		o.RefinePasses = 4
+	}
+	if o.ImbalanceTol == 0 {
+		o.ImbalanceTol = 1.05
+	}
+	return o
+}
+
+// MultilevelKWay partitions g into k parts with the classic three-phase
+// scheme of the ParMETIS family (Karypis & Kumar): coarsen by
+// heavy-edge matching, partition the coarsest graph by recursive greedy
+// bisection, then uncoarsen with boundary Fiduccia–Mattheyses-style
+// refinement at every level.
+func MultilevelKWay(g *Graph, k int, opts MLOptions) (*Partition, error) {
+	if err := checkArgs(g, k); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults(k)
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+
+	// Coarsening phase.
+	levels := []*Graph{g}
+	maps := [][]int32{} // maps[l][v] = coarse vertex of fine vertex v at level l
+	for levels[len(levels)-1].N > opts.CoarsenTo {
+		cur := levels[len(levels)-1]
+		coarse, cmap := coarsen(cur, rng)
+		if coarse.N >= cur.N*95/100 {
+			break // diminishing returns; stop
+		}
+		levels = append(levels, coarse)
+		maps = append(maps, cmap)
+	}
+
+	// Initial partition on the coarsest graph.
+	coarsest := levels[len(levels)-1]
+	part := greedyRecursiveBisect(coarsest, k, rng)
+
+	// Uncoarsening with refinement.
+	refine(coarsest, part, k, opts, rng)
+	for l := len(levels) - 2; l >= 0; l-- {
+		fine := levels[l]
+		cmap := maps[l]
+		finePart := make([]int32, fine.N)
+		for v := range finePart {
+			finePart[v] = part[cmap[v]]
+		}
+		part = finePart
+		refine(fine, part, k, opts, rng)
+	}
+	return &Partition{K: k, Parts: part}, nil
+}
+
+// coarsen contracts a heavy-edge matching of g and returns the coarse
+// graph plus the fine→coarse vertex map.
+func coarsen(g *Graph, rng *rand.Rand) (*Graph, []int32) {
+	match := make([]int32, g.N)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(g.N)
+	nCoarse := 0
+	cmap := make([]int32, g.N)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		// Heaviest unmatched neighbour.
+		best, bestW := -1, -1.0
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			u := int(g.Adjncy[e])
+			if match[u] == -1 && u != v && g.EWgt[e] > bestW {
+				best, bestW = u, g.EWgt[e]
+			}
+		}
+		if best >= 0 {
+			match[v] = int32(best)
+			match[best] = int32(v)
+			cmap[v] = int32(nCoarse)
+			cmap[best] = int32(nCoarse)
+		} else {
+			match[v] = int32(v)
+			cmap[v] = int32(nCoarse)
+		}
+		nCoarse++
+	}
+	// Build the coarse graph: sum vertex weights; aggregate parallel
+	// edges with a per-coarse-vertex scatter map.
+	coarse := &Graph{
+		N:    nCoarse,
+		VWgt: make([]float64, nCoarse),
+	}
+	coords := make([]struct {
+		sum vec.V3
+		n   int
+	}, nCoarse)
+	for v := 0; v < g.N; v++ {
+		cv := cmap[v]
+		coarse.VWgt[cv] += g.VWgt[v]
+		if g.Coords != nil {
+			coords[cv].sum = coords[cv].sum.Add(g.Coords[v])
+			coords[cv].n++
+		}
+	}
+	// Accumulate coarse adjacency, merging parallel edges per coarse
+	// vertex.
+	type edge struct {
+		to int32
+		w  float64
+	}
+	adj := make([][]edge, nCoarse)
+	scratch := map[int32]int{} // coarse neighbour -> index in merged list
+	for v := 0; v < g.N; v++ {
+		cv := cmap[v]
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			cu := cmap[g.Adjncy[e]]
+			if cu == cv {
+				continue // contracted edge disappears
+			}
+			adj[cv] = append(adj[cv], edge{cu, g.EWgt[e]})
+		}
+	}
+	var xadj []int32
+	var adjncy []int32
+	var ewgt []float64
+	xadj = append(xadj, 0)
+	for cv := 0; cv < nCoarse; cv++ {
+		clearMap(scratch)
+		merged := adj[cv][:0]
+		for _, ed := range adj[cv] {
+			if at, ok := scratch[ed.to]; ok {
+				merged[at].w += ed.w
+				continue
+			}
+			scratch[ed.to] = len(merged)
+			merged = append(merged, ed)
+		}
+		for _, ed := range merged {
+			adjncy = append(adjncy, ed.to)
+			ewgt = append(ewgt, ed.w)
+		}
+		xadj = append(xadj, int32(len(adjncy)))
+	}
+	coarse.Xadj = xadj
+	coarse.Adjncy = adjncy
+	coarse.EWgt = ewgt
+	if g.Coords != nil {
+		coarse.Coords = make([]vec.V3, nCoarse)
+		for cv := range coarse.Coords {
+			if coords[cv].n > 0 {
+				coarse.Coords[cv] = coords[cv].sum.Div(float64(coords[cv].n))
+			}
+		}
+	}
+	return coarse, cmap
+}
+
+func clearMap(m map[int32]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// greedyRecursiveBisect produces an initial k-way partition of a small
+// graph by recursive bisection with BFS region growing from a random
+// seed, balancing by vertex weight.
+func greedyRecursiveBisect(g *Graph, k int, rng *rand.Rand) []int32 {
+	part := make([]int32, g.N)
+	verts := make([]int, g.N)
+	for i := range verts {
+		verts[i] = i
+	}
+	bisectRecurse(g, verts, 0, k, part, rng)
+	return part
+}
+
+func bisectRecurse(g *Graph, verts []int, base, k int, part []int32, rng *rand.Rand) {
+	if k == 1 {
+		for _, v := range verts {
+			part[v] = int32(base)
+		}
+		return
+	}
+	kl := k / 2
+	kr := k - kl
+	inSet := make(map[int]bool, len(verts))
+	for _, v := range verts {
+		inSet[v] = true
+	}
+	total := 0.0
+	for _, v := range verts {
+		total += g.VWgt[v]
+	}
+	target := total * float64(kl) / float64(k)
+	// BFS growth from a random seed, preferring heavy connections.
+	taken := make(map[int]bool, len(verts))
+	var frontier []int
+	seed := verts[rng.Intn(len(verts))]
+	frontier = append(frontier, seed)
+	acc := 0.0
+	for acc < target && len(taken) < len(verts) {
+		var v int
+		if len(frontier) > 0 {
+			v = frontier[0]
+			frontier = frontier[1:]
+		} else {
+			// Disconnected remainder: jump to any untaken vertex.
+			v = -1
+			for _, u := range verts {
+				if !taken[u] {
+					v = u
+					break
+				}
+			}
+			if v < 0 {
+				break
+			}
+		}
+		if taken[v] {
+			continue
+		}
+		taken[v] = true
+		acc += g.VWgt[v]
+		for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+			u := int(g.Adjncy[e])
+			if inSet[u] && !taken[u] {
+				frontier = append(frontier, u)
+			}
+		}
+	}
+	var left, right []int
+	for _, v := range verts {
+		if taken[v] {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	// Degenerate splits: force at least one vertex per side when k>1.
+	if len(left) == 0 && len(right) > 0 {
+		left = append(left, right[len(right)-1])
+		right = right[:len(right)-1]
+	}
+	if len(right) == 0 && len(left) > 1 {
+		right = append(right, left[len(left)-1])
+		left = left[:len(left)-1]
+	}
+	bisectRecurse(g, left, base, kl, part, rng)
+	bisectRecurse(g, right, base+kl, kr, part, rng)
+}
+
+// refine runs boundary FM-style passes: every boundary vertex considers
+// moving to the neighbouring part with the highest gain (reduction in
+// cut), subject to the balance tolerance. Moves with zero gain are
+// allowed when they improve balance.
+func refine(g *Graph, part []int32, k int, opts MLOptions, rng *rand.Rand) {
+	weights := make([]float64, k)
+	total := 0.0
+	for v := 0; v < g.N; v++ {
+		weights[part[v]] += g.VWgt[v]
+		total += g.VWgt[v]
+	}
+	maxAllowed := opts.ImbalanceTol * total / float64(k)
+
+	conn := make([]float64, k) // connectivity of the current vertex to each part
+	for pass := 0; pass < opts.RefinePasses; pass++ {
+		moved := 0
+		order := rng.Perm(g.N)
+		for _, v := range order {
+			home := part[v]
+			// Compute connectivity to adjacent parts.
+			var parts []int32
+			for e := g.Xadj[v]; e < g.Xadj[v+1]; e++ {
+				pu := part[g.Adjncy[e]]
+				if conn[pu] == 0 {
+					parts = append(parts, pu)
+				}
+				conn[pu] += g.EWgt[e]
+			}
+			if len(parts) == 0 || (len(parts) == 1 && parts[0] == home) {
+				for _, p := range parts {
+					conn[p] = 0
+				}
+				continue // interior vertex
+			}
+			bestPart := home
+			bestGain := 0.0
+			for _, p := range parts {
+				if p == home {
+					continue
+				}
+				gain := conn[p] - conn[home]
+				if weights[p]+g.VWgt[v] > maxAllowed {
+					continue // would overweight the target
+				}
+				better := gain > bestGain
+				// Zero-gain balance moves: allow when target is lighter.
+				if gain == bestGain && gain >= 0 && weights[p]+g.VWgt[v] < weights[home] {
+					better = true
+				}
+				if better {
+					bestPart, bestGain = p, gain
+				}
+			}
+			for _, p := range parts {
+				conn[p] = 0
+			}
+			if bestPart != home {
+				weights[home] -= g.VWgt[v]
+				weights[bestPart] += g.VWgt[v]
+				part[v] = bestPart
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package render
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// SerializeCompact packs the image for network transport the way real
+// sort-last compositors do: the tight bounding box of non-empty pixels
+// only, with 8-bit colour channels and a float32 depth (8 bytes per
+// shipped pixel instead of 40 for the exact form). Lossy in colour
+// (1/255 quantisation) but exact in structure.
+//
+// Layout: u32 W, u32 H, u32 x0, y0, x1, y1 (bbox, exclusive max), then
+// (x1-x0)*(y1-y0) pixels of [r, g, b, a u8][depth f32].
+func (im *Image) SerializeCompact() []byte {
+	x0, y0, x1, y1 := im.W, im.H, 0, 0
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			if im.Pix[y*im.W+x].A > 0 {
+				if x < x0 {
+					x0 = x
+				}
+				if y < y0 {
+					y0 = y
+				}
+				if x+1 > x1 {
+					x1 = x + 1
+				}
+				if y+1 > y1 {
+					y1 = y + 1
+				}
+			}
+		}
+	}
+	if x0 > x1 { // empty image
+		x0, y0, x1, y1 = 0, 0, 0, 0
+	}
+	n := (x1 - x0) * (y1 - y0)
+	out := make([]byte, 24+8*n)
+	le := binary.LittleEndian
+	le.PutUint32(out[0:], uint32(im.W))
+	le.PutUint32(out[4:], uint32(im.H))
+	le.PutUint32(out[8:], uint32(x0))
+	le.PutUint32(out[12:], uint32(y0))
+	le.PutUint32(out[16:], uint32(x1))
+	le.PutUint32(out[20:], uint32(y1))
+	at := 24
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			p := im.Pix[y*im.W+x]
+			out[at] = byte(clamp01(p.R)*255 + 0.5)
+			out[at+1] = byte(clamp01(p.G)*255 + 0.5)
+			out[at+2] = byte(clamp01(p.B)*255 + 0.5)
+			out[at+3] = byte(clamp01(p.A)*255 + 0.5)
+			d := im.Depth[y*im.W+x]
+			le.PutUint32(out[at+4:], math.Float32bits(float32(d)))
+			at += 8
+		}
+	}
+	return out
+}
+
+// DeserializeCompact unpacks a SerializeCompact payload into a full
+// framebuffer (pixels outside the bbox are empty with infinite depth).
+func DeserializeCompact(data []byte) (*Image, error) {
+	if len(data) < 24 {
+		return nil, fmt.Errorf("render: compact payload too short (%d bytes)", len(data))
+	}
+	le := binary.LittleEndian
+	w := int(le.Uint32(data[0:]))
+	h := int(le.Uint32(data[4:]))
+	x0 := int(le.Uint32(data[8:]))
+	y0 := int(le.Uint32(data[12:]))
+	x1 := int(le.Uint32(data[16:]))
+	y1 := int(le.Uint32(data[20:]))
+	if w < 0 || h < 0 || x0 > x1 || y0 > y1 || x1 > w || y1 > h {
+		return nil, fmt.Errorf("render: corrupt compact header %dx%d bbox (%d,%d)-(%d,%d)", w, h, x0, y0, x1, y1)
+	}
+	n := (x1 - x0) * (y1 - y0)
+	if len(data) != 24+8*n {
+		return nil, fmt.Errorf("render: compact payload %d bytes, want %d", len(data), 24+8*n)
+	}
+	im := NewImage(w, h)
+	at := 24
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			im.Pix[y*im.W+x] = RGBA{
+				R: float64(data[at]) / 255,
+				G: float64(data[at+1]) / 255,
+				B: float64(data[at+2]) / 255,
+				A: float64(data[at+3]) / 255,
+			}
+			d := math.Float32frombits(le.Uint32(data[at+4:]))
+			im.Depth[y*im.W+x] = float64(d)
+			at += 8
+		}
+	}
+	return im, nil
+}

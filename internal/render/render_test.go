@@ -1,0 +1,208 @@
+package render
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOverOperator(t *testing.T) {
+	opaque := RGBA{1, 0, 0, 1}
+	clear := RGBA{0, 1, 0, 0}
+	// Opaque over anything is itself.
+	got := opaque.Over(RGBA{0, 0, 1, 1})
+	if got != opaque {
+		t.Errorf("opaque over = %+v", got)
+	}
+	// Transparent over x is x.
+	base := RGBA{0, 0, 1, 0.5}
+	got = clear.Over(base)
+	if math.Abs(got.B-base.B) > 1e-12 || math.Abs(got.A-base.A) > 1e-12 {
+		t.Errorf("clear over = %+v", got)
+	}
+}
+
+// TestOverAssociativityProperty: compositing must be associative —
+// required for the pairwise sort-last merge to be order-independent.
+func TestOverAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := func() RGBA {
+			return RGBA{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		}
+		a, b, cc := c(), c(), c()
+		l := a.Over(b).Over(cc)
+		r := a.Over(b.Over(cc))
+		near := func(x, y float64) bool { return math.Abs(x-y) < 1e-9 }
+		return near(l.A, r.A) && near(l.R*l.A, r.R*r.A) && near(l.G*l.A, r.G*r.A) && near(l.B*l.A, r.B*r.A)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImageBlendDepthOrder(t *testing.T) {
+	img := NewImage(2, 1)
+	red := RGBA{1, 0, 0, 0.5}
+	blue := RGBA{0, 0, 1, 0.5}
+	// Draw red at depth 5, then blue nearer at depth 2: blue must end
+	// up in front.
+	img.Blend(0, 0, red, 5)
+	img.Blend(0, 0, blue, 2)
+	a := img.At(0, 0)
+	// Front-weighted blue: B channel should dominate R.
+	if a.B <= a.R {
+		t.Errorf("nearer blue should dominate: %+v", a)
+	}
+	// Same colours, reversed call order, must give the same pixel.
+	img2 := NewImage(2, 1)
+	img2.Blend(0, 0, blue, 2)
+	img2.Blend(0, 0, red, 5)
+	b := img2.At(0, 0)
+	if math.Abs(a.R-b.R) > 1e-12 || math.Abs(a.B-b.B) > 1e-12 || math.Abs(a.A-b.A) > 1e-12 {
+		t.Errorf("blend order dependence: %+v vs %+v", a, b)
+	}
+}
+
+func TestCompositeUnder(t *testing.T) {
+	near := NewImage(1, 1)
+	far := NewImage(1, 1)
+	near.Set(0, 0, RGBA{1, 0, 0, 0.5}, 1)
+	far.Set(0, 0, RGBA{0, 0, 1, 1}, 10)
+	if err := near.CompositeUnder(far); err != nil {
+		t.Fatal(err)
+	}
+	p := near.At(0, 0)
+	if p.A < 0.99 {
+		t.Errorf("alpha should saturate against opaque background: %+v", p)
+	}
+	if p.R <= p.B*0.5 {
+		t.Errorf("near red should be visible over far blue: %+v", p)
+	}
+	// Size mismatch errors.
+	if err := near.CompositeUnder(NewImage(2, 2)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	img := NewImage(3, 2)
+	img.Set(1, 1, RGBA{0.1, 0.2, 0.3, 0.4}, 7)
+	img.Set(2, 0, RGBA{0.9, 0.8, 0.7, 1.0}, 2)
+	data := img.Serialize()
+	got, err := DeserializeImage(3, 2, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img.Pix {
+		if img.Pix[i] != got.Pix[i] {
+			t.Fatalf("pixel %d: %+v vs %+v", i, img.Pix[i], got.Pix[i])
+		}
+		if img.Depth[i] != got.Depth[i] && !(math.IsInf(img.Depth[i], 1) && math.IsInf(got.Depth[i], 1)) {
+			t.Fatalf("depth %d: %v vs %v", i, img.Depth[i], got.Depth[i])
+		}
+	}
+	if _, err := DeserializeImage(3, 2, data[:5]); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+func TestEncodePPM(t *testing.T) {
+	img := NewImage(4, 3)
+	img.Set(0, 0, RGBA{1, 1, 1, 1}, 0)
+	var buf bytes.Buffer
+	if err := img.EncodePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	head := buf.Bytes()[:2]
+	if string(head) != "P6" {
+		t.Errorf("not a P6 ppm: %q", head)
+	}
+	// 4*3 pixels * 3 bytes after the header.
+	if buf.Len() < 36 {
+		t.Errorf("ppm too short: %d", buf.Len())
+	}
+}
+
+func TestEncodePNG(t *testing.T) {
+	img := NewImage(4, 4)
+	img.Set(1, 2, RGBA{0.2, 0.4, 0.9, 1}, 0)
+	var buf bytes.Buffer
+	if err := img.EncodePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sig := buf.Bytes()[:8]
+	want := []byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'}
+	for i := range want {
+		if sig[i] != want[i] {
+			t.Fatalf("bad png signature: % x", sig)
+		}
+	}
+}
+
+func TestTransferFunctionMapping(t *testing.T) {
+	tf := BlueRed(0, 1)
+	lo := tf.Map(0)
+	hi := tf.Map(1)
+	if lo.B <= lo.R {
+		t.Errorf("low end should be blue-ish: %+v", lo)
+	}
+	if hi.R <= hi.B {
+		t.Errorf("high end should be red-ish: %+v", hi)
+	}
+	// Out-of-range values clamp.
+	below := tf.Map(-5)
+	if below != lo {
+		t.Errorf("below-range not clamped: %+v vs %+v", below, lo)
+	}
+	above := tf.Map(99)
+	if above != hi {
+		t.Errorf("above-range not clamped: %+v vs %+v", above, hi)
+	}
+	// Alpha increases with value for BlueRed (denser = more opaque).
+	if !(tf.Map(0.9).A > tf.Map(0.1).A) {
+		t.Error("opacity should grow with the scalar")
+	}
+}
+
+func TestTransferFunctionDegenerate(t *testing.T) {
+	empty := &TransferFunction{}
+	if c := empty.Map(0.5); c != (RGBA{}) {
+		t.Errorf("empty TF returned %+v", c)
+	}
+	flat := &TransferFunction{Lo: 1, Hi: 1, Stops: []RGBA{{1, 0, 0, 1}, {0, 1, 0, 1}}, OpacityScale: 1}
+	_ = flat.Map(1) // must not panic on zero range
+}
+
+func TestCoveredFraction(t *testing.T) {
+	img := NewImage(10, 10)
+	if f := img.CoveredFraction(); f != 0 {
+		t.Errorf("empty image covered %v", f)
+	}
+	for i := 0; i < 10; i++ {
+		img.Set(i, 0, RGBA{1, 1, 1, 1}, 0)
+	}
+	if f := img.CoveredFraction(); math.Abs(f-0.1) > 1e-12 {
+		t.Errorf("covered = %v, want 0.1", f)
+	}
+}
+
+func TestFillAndFlatten(t *testing.T) {
+	img := NewImage(2, 2)
+	img.Fill(RGBA{0.5, 0.5, 0.5, 1})
+	flat := img.FlattenOnto(RGBA{0, 0, 0, 1})
+	p := flat.At(0, 0)
+	if math.Abs(p.R-0.5) > 1e-12 || p.A != 1 {
+		t.Errorf("flatten = %+v", p)
+	}
+}
+
+func TestGrayscaleTF(t *testing.T) {
+	tf := Grayscale(0, 10)
+	mid := tf.Map(5)
+	if math.Abs(mid.R-mid.G) > 1e-12 || math.Abs(mid.G-mid.B) > 1e-12 {
+		t.Errorf("grayscale not grey: %+v", mid)
+	}
+}

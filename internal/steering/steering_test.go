@@ -1,0 +1,180 @@
+package steering
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/insitu"
+)
+
+// echoServer runs a server goroutine that services ops with canned
+// replies, mimicking the simulation master loop.
+func echoServer(t *testing.T) (*Server, *sync.WaitGroup) {
+	t.Helper()
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			op := srv.PollWait()
+			if op == nil {
+				return
+			}
+			switch op.Msg.Op {
+			case OpImage:
+				op.Reply(ServerMsg{Op: OpImage, W: 8, H: 6, PNG: []byte{1, 2, 3}})
+			case OpStatus:
+				op.Reply(ServerMsg{Op: OpStatus, Status: &Status{Step: 42, TotalSteps: 100, Ranks: 4}})
+			case OpSetIolet:
+				if op.Msg.Iolet < 0 {
+					op.Reply(ServerMsg{Op: OpSetIolet, Error: "bad iolet"})
+				} else {
+					op.Reply(ServerMsg{Op: OpSetIolet})
+				}
+			case OpSetROI, OpPause, OpResume, OpQuit:
+				op.Reply(ServerMsg{Op: op.Msg.Op})
+			default:
+				op.Reply(ServerMsg{Op: op.Msg.Op, Error: "unknown"})
+			}
+			if op.Msg.Op == OpQuit {
+				return
+			}
+		}
+	}()
+	return srv, &wg
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	srv, wg := echoServer(t)
+	defer srv.Close()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	png, w, h, err := cl.RequestImage(insitu.DefaultRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 8 || h != 6 || len(png) != 3 {
+		t.Errorf("image reply: w=%d h=%d png=%v", w, h, png)
+	}
+	st, err := cl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Step != 42 || st.TotalSteps != 100 || st.Ranks != 4 {
+		t.Errorf("status = %+v", st)
+	}
+	if err := cl.SetIoletDensity(0, 1.02); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SetROI([3]float64{0, 0, 0}, [3]float64{8, 8, 8}, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Quit(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+func TestServerErrorPropagates(t *testing.T) {
+	srv, _ := echoServer(t)
+	defer srv.Close()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.SetIoletDensity(-5, 1.0); err == nil {
+		t.Error("server error not propagated")
+	}
+}
+
+func TestPollNonBlocking(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	start := time.Now()
+	if op := srv.Poll(); op != nil {
+		t.Error("poll returned phantom op")
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("poll blocked")
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2; i++ {
+			op := srv.PollWait()
+			if op == nil {
+				return
+			}
+			op.Reply(ServerMsg{Op: OpStatus, Status: &Status{Step: i}})
+		}
+	}()
+	c1, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c1.Status(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Status(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestServerCloseUnblocksPollWait(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan *Op, 1)
+	go func() { got <- srv.PollWait() }()
+	time.Sleep(10 * time.Millisecond)
+	srv.Close()
+	select {
+	case op := <-got:
+		if op != nil {
+			t.Error("expected nil op on close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("PollWait did not unblock on Close")
+	}
+}

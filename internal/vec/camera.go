@@ -1,0 +1,68 @@
+package vec
+
+import "math"
+
+// Camera is a simple pinhole camera that generates primary rays for the
+// software renderers. It looks from Eye towards Target with the given
+// vertical field of view (degrees) and image aspect ratio.
+type Camera struct {
+	Eye    V3
+	Target V3
+	Up     V3
+	FovDeg float64
+	Aspect float64
+
+	// derived basis, built by Finish.
+	right, up, forward V3
+	halfH, halfW       float64
+	ready              bool
+}
+
+// NewCamera builds a camera and precomputes its basis.
+func NewCamera(eye, target, up V3, fovDeg, aspect float64) *Camera {
+	c := &Camera{Eye: eye, Target: target, Up: up, FovDeg: fovDeg, Aspect: aspect}
+	c.Finish()
+	return c
+}
+
+// Finish (re)computes the camera basis after any field change.
+func (c *Camera) Finish() {
+	c.forward = c.Target.Sub(c.Eye).Norm()
+	c.right = c.forward.Cross(c.Up).Norm()
+	if c.right.Len2() == 0 {
+		// Up parallel to view direction: pick an arbitrary right vector.
+		c.right = c.forward.Cross(V3{1, 0, 0}).Norm()
+		if c.right.Len2() == 0 {
+			c.right = c.forward.Cross(V3{0, 1, 0}).Norm()
+		}
+	}
+	c.up = c.right.Cross(c.forward).Norm()
+	c.halfH = math.Tan(c.FovDeg * math.Pi / 360.0)
+	c.halfW = c.halfH * c.Aspect
+	c.ready = true
+}
+
+// Ray returns the origin and unit direction of the primary ray through
+// normalised image coordinates (u, v) in [0,1]² with (0,0) at the top
+// left corner.
+func (c *Camera) Ray(u, v float64) (origin, dir V3) {
+	if !c.ready {
+		c.Finish()
+	}
+	sx := (2*u - 1) * c.halfW
+	sy := (1 - 2*v) * c.halfH
+	d := c.forward.Add(c.right.Mul(sx)).Add(c.up.Mul(sy)).Norm()
+	return c.Eye, d
+}
+
+// Orbit returns a camera positioned on a sphere of the given radius
+// around target, at azimuth/elevation angles in radians, looking at the
+// target. Useful for steering-driven viewpoint changes.
+func Orbit(target V3, radius, azimuth, elevation, fovDeg, aspect float64) *Camera {
+	eye := target.Add(V3{
+		radius * math.Cos(elevation) * math.Cos(azimuth),
+		radius * math.Cos(elevation) * math.Sin(azimuth),
+		radius * math.Sin(elevation),
+	})
+	return NewCamera(eye, target, V3{0, 0, 1}, fovDeg, aspect)
+}

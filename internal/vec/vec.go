@@ -1,0 +1,197 @@
+// Package vec provides small fixed-size vector and matrix math used by
+// the geometry, lattice and rendering packages. All types are value
+// types; operations return new values and never mutate their receivers.
+package vec
+
+import "math"
+
+// V3 is a 3-component vector of float64, used for positions, directions,
+// velocities and colours.
+type V3 struct {
+	X, Y, Z float64
+}
+
+// New returns the vector (x, y, z).
+func New(x, y, z float64) V3 { return V3{x, y, z} }
+
+// Splat returns the vector (s, s, s).
+func Splat(s float64) V3 { return V3{s, s, s} }
+
+// Add returns v + w.
+func (v V3) Add(w V3) V3 { return V3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v V3) Sub(w V3) V3 { return V3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Mul returns v scaled by s.
+func (v V3) Mul(s float64) V3 { return V3{v.X * s, v.Y * s, v.Z * s} }
+
+// MulV returns the component-wise product of v and w.
+func (v V3) MulV(w V3) V3 { return V3{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
+
+// Div returns v scaled by 1/s.
+func (v V3) Div(s float64) V3 { return V3{v.X / s, v.Y / s, v.Z / s} }
+
+// Dot returns the inner product of v and w.
+func (v V3) Dot(w V3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v V3) Cross(w V3) V3 {
+	return V3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Len returns the Euclidean norm of v.
+func (v V3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Len2 returns the squared Euclidean norm of v.
+func (v V3) Len2() float64 { return v.Dot(v) }
+
+// Norm returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v V3) Norm() V3 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Div(l)
+}
+
+// Neg returns -v.
+func (v V3) Neg() V3 { return V3{-v.X, -v.Y, -v.Z} }
+
+// Min returns the component-wise minimum of v and w.
+func (v V3) Min(w V3) V3 {
+	return V3{math.Min(v.X, w.X), math.Min(v.Y, w.Y), math.Min(v.Z, w.Z)}
+}
+
+// Max returns the component-wise maximum of v and w.
+func (v V3) Max(w V3) V3 {
+	return V3{math.Max(v.X, w.X), math.Max(v.Y, w.Y), math.Max(v.Z, w.Z)}
+}
+
+// Clamp returns v with each component clamped into [lo, hi].
+func (v V3) Clamp(lo, hi float64) V3 {
+	return V3{clamp(v.X, lo, hi), clamp(v.Y, lo, hi), clamp(v.Z, lo, hi)}
+}
+
+// Lerp returns v + t*(w - v), the linear interpolation between v and w.
+func (v V3) Lerp(w V3, t float64) V3 { return v.Add(w.Sub(v).Mul(t)) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v V3) Dist(w V3) float64 { return v.Sub(w).Len() }
+
+// IsFinite reports whether all components are finite (no NaN or Inf).
+func (v V3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// I3 is a 3-component integer vector used for lattice coordinates.
+type I3 struct {
+	X, Y, Z int
+}
+
+// NewI returns the integer vector (x, y, z).
+func NewI(x, y, z int) I3 { return I3{x, y, z} }
+
+// Add returns v + w.
+func (v I3) Add(w I3) I3 { return I3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v I3) Sub(w I3) I3 { return I3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Mul returns v scaled by s.
+func (v I3) Mul(s int) I3 { return I3{v.X * s, v.Y * s, v.Z * s} }
+
+// F returns v converted to a float vector.
+func (v I3) F() V3 { return V3{float64(v.X), float64(v.Y), float64(v.Z)} }
+
+// Floor returns the component-wise floor of v as an integer vector.
+func Floor(v V3) I3 {
+	return I3{int(math.Floor(v.X)), int(math.Floor(v.Y)), int(math.Floor(v.Z))}
+}
+
+// Box is an axis-aligned bounding box with inclusive Min and exclusive
+// Max corner semantics for integer lattice use, and plain min/max corner
+// semantics for continuous use.
+type Box struct {
+	Min, Max V3
+}
+
+// NewBox returns the box spanning [min, max].
+func NewBox(min, max V3) Box { return Box{min, max} }
+
+// Contains reports whether p lies inside the box (Min inclusive, Max
+// exclusive).
+func (b Box) Contains(p V3) bool {
+	return p.X >= b.Min.X && p.X < b.Max.X &&
+		p.Y >= b.Min.Y && p.Y < b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z < b.Max.Z
+}
+
+// Center returns the box centre point.
+func (b Box) Center() V3 { return b.Min.Add(b.Max).Mul(0.5) }
+
+// Size returns the box extents.
+func (b Box) Size() V3 { return b.Max.Sub(b.Min) }
+
+// Union returns the smallest box containing both b and c.
+func (b Box) Union(c Box) Box {
+	return Box{b.Min.Min(c.Min), b.Max.Max(c.Max)}
+}
+
+// Expand returns b grown by d in every direction.
+func (b Box) Expand(d float64) Box {
+	e := Splat(d)
+	return Box{b.Min.Sub(e), b.Max.Add(e)}
+}
+
+// IntersectRay returns the parametric interval [t0, t1] over which the
+// ray origin + t*dir lies inside the box, and ok=false if the ray misses
+// it. dir components equal to zero are handled (the ray must start
+// inside the slab for that axis).
+func (b Box) IntersectRay(origin, dir V3) (t0, t1 float64, ok bool) {
+	t0, t1 = math.Inf(-1), math.Inf(1)
+	mins := [3]float64{b.Min.X, b.Min.Y, b.Min.Z}
+	maxs := [3]float64{b.Max.X, b.Max.Y, b.Max.Z}
+	o := [3]float64{origin.X, origin.Y, origin.Z}
+	d := [3]float64{dir.X, dir.Y, dir.Z}
+	for i := 0; i < 3; i++ {
+		if d[i] == 0 {
+			if o[i] < mins[i] || o[i] > maxs[i] {
+				return 0, 0, false
+			}
+			continue
+		}
+		ta := (mins[i] - o[i]) / d[i]
+		tb := (maxs[i] - o[i]) / d[i]
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		if ta > t0 {
+			t0 = ta
+		}
+		if tb < t1 {
+			t1 = tb
+		}
+	}
+	if t0 > t1 {
+		return 0, 0, false
+	}
+	return t0, t1, true
+}

@@ -1,0 +1,251 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicArithmetic(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(4, 5, 6)
+	if a.Add(b) != New(5, 7, 9) {
+		t.Error("Add")
+	}
+	if b.Sub(a) != New(3, 3, 3) {
+		t.Error("Sub")
+	}
+	if a.Mul(2) != New(2, 4, 6) {
+		t.Error("Mul")
+	}
+	if a.Div(2) != New(0.5, 1, 1.5) {
+		t.Error("Div")
+	}
+	if a.Dot(b) != 32 {
+		t.Error("Dot")
+	}
+	if a.Neg() != New(-1, -2, -3) {
+		t.Error("Neg")
+	}
+	if a.MulV(b) != New(4, 10, 18) {
+		t.Error("MulV")
+	}
+}
+
+func TestCrossProduct(t *testing.T) {
+	x := New(1, 0, 0)
+	y := New(0, 1, 0)
+	z := New(0, 0, 1)
+	if x.Cross(y) != z {
+		t.Error("x × y != z")
+	}
+	if y.Cross(x) != z.Neg() {
+		t.Error("y × x != -z")
+	}
+	// a × a = 0 for random (bounded) vectors; unbounded inputs overflow
+	// to Inf-Inf = NaN, which is fine for a float implementation.
+	f := func(a, b, c float64) bool {
+		v := New(math.Mod(a, 1e6), math.Mod(b, 1e6), math.Mod(c, 1e6))
+		return v.Cross(v) == V3{}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCrossOrthogonalProperty: a × b is orthogonal to both inputs.
+func TestCrossOrthogonalProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a := New(math.Mod(ax, 100), math.Mod(ay, 100), math.Mod(az, 100))
+		b := New(math.Mod(bx, 100), math.Mod(by, 100), math.Mod(bz, 100))
+		c := a.Cross(b)
+		scale := a.Len() * b.Len()
+		if scale == 0 {
+			return true
+		}
+		return math.Abs(c.Dot(a))/(scale*scale+1) < 1e-9 &&
+			math.Abs(c.Dot(b))/(scale*scale+1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormAndLength(t *testing.T) {
+	v := New(3, 4, 0)
+	if v.Len() != 5 {
+		t.Errorf("Len = %v", v.Len())
+	}
+	if v.Len2() != 25 {
+		t.Errorf("Len2 = %v", v.Len2())
+	}
+	n := v.Norm()
+	if math.Abs(n.Len()-1) > 1e-15 {
+		t.Errorf("Norm length = %v", n.Len())
+	}
+	if (V3{}).Norm() != (V3{}) {
+		t.Error("zero norm should stay zero")
+	}
+}
+
+func TestMinMaxClampLerp(t *testing.T) {
+	a := New(1, 5, -2)
+	b := New(3, 2, 0)
+	if a.Min(b) != New(1, 2, -2) {
+		t.Error("Min")
+	}
+	if a.Max(b) != New(3, 5, 0) {
+		t.Error("Max")
+	}
+	if a.Clamp(0, 2) != New(1, 2, 0) {
+		t.Error("Clamp")
+	}
+	if a.Lerp(b, 0) != a || a.Lerp(b, 1) != b {
+		t.Error("Lerp endpoints")
+	}
+	mid := a.Lerp(b, 0.5)
+	if mid != New(2, 3.5, -1) {
+		t.Errorf("Lerp mid = %v", mid)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !New(1, 2, 3).IsFinite() {
+		t.Error("finite vector flagged")
+	}
+	if New(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN passed")
+	}
+	if New(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf passed")
+	}
+}
+
+func TestI3AndFloor(t *testing.T) {
+	p := NewI(1, 2, 3)
+	if p.Add(NewI(1, 1, 1)) != NewI(2, 3, 4) {
+		t.Error("I3 Add")
+	}
+	if p.Sub(NewI(1, 1, 1)) != NewI(0, 1, 2) {
+		t.Error("I3 Sub")
+	}
+	if p.Mul(2) != NewI(2, 4, 6) {
+		t.Error("I3 Mul")
+	}
+	if p.F() != New(1, 2, 3) {
+		t.Error("I3 F")
+	}
+	if Floor(New(1.7, -0.3, 2.0)) != NewI(1, -1, 2) {
+		t.Errorf("Floor = %v", Floor(New(1.7, -0.3, 2.0)))
+	}
+}
+
+func TestBoxContainsAndGeometry(t *testing.T) {
+	b := NewBox(New(0, 0, 0), New(2, 2, 2))
+	if !b.Contains(New(1, 1, 1)) {
+		t.Error("centre not contained")
+	}
+	if b.Contains(New(2, 1, 1)) {
+		t.Error("max corner should be exclusive")
+	}
+	if b.Center() != New(1, 1, 1) {
+		t.Error("Center")
+	}
+	if b.Size() != New(2, 2, 2) {
+		t.Error("Size")
+	}
+	u := b.Union(NewBox(New(-1, 0, 0), New(1, 3, 1)))
+	if u.Min != New(-1, 0, 0) || u.Max != New(2, 3, 2) {
+		t.Errorf("Union = %+v", u)
+	}
+	e := b.Expand(1)
+	if e.Min != New(-1, -1, -1) || e.Max != New(3, 3, 3) {
+		t.Errorf("Expand = %+v", e)
+	}
+}
+
+func TestBoxRayIntersection(t *testing.T) {
+	b := NewBox(New(0, 0, 0), New(1, 1, 1))
+	// Ray through the middle along +x.
+	t0, t1, ok := b.IntersectRay(New(-1, 0.5, 0.5), New(1, 0, 0))
+	if !ok || math.Abs(t0-1) > 1e-12 || math.Abs(t1-2) > 1e-12 {
+		t.Errorf("axis hit: t0=%v t1=%v ok=%v", t0, t1, ok)
+	}
+	// Miss.
+	if _, _, ok := b.IntersectRay(New(-1, 2, 0.5), New(1, 0, 0)); ok {
+		t.Error("parallel offset ray should miss")
+	}
+	// Zero-direction component inside the slab.
+	if _, _, ok := b.IntersectRay(New(-1, 0.5, 0.5), New(1, 0, 0)); !ok {
+		t.Error("flat ray inside slab should hit")
+	}
+	// Zero-direction component outside the slab.
+	if _, _, ok := b.IntersectRay(New(-1, 5, 0.5), New(1, 0, 0)); ok {
+		t.Error("flat ray outside slab should miss")
+	}
+	// Ray starting inside.
+	t0, _, ok = b.IntersectRay(New(0.5, 0.5, 0.5), New(0, 0, 1))
+	if !ok || t0 > 0 {
+		t.Errorf("inside start: t0=%v ok=%v", t0, ok)
+	}
+}
+
+func TestCameraRays(t *testing.T) {
+	cam := NewCamera(New(0, 0, -5), New(0, 0, 0), New(0, 1, 0), 90, 1)
+	// Centre ray points at the target.
+	o, d := cam.Ray(0.5, 0.5)
+	if o != New(0, 0, -5) {
+		t.Errorf("origin = %v", o)
+	}
+	if d.Dist(New(0, 0, 1)) > 1e-12 {
+		t.Errorf("centre dir = %v", d)
+	}
+	// Corner rays diverge symmetrically.
+	_, dl := cam.Ray(0, 0.5)
+	_, dr := cam.Ray(1, 0.5)
+	if math.Abs(dl.Z-dr.Z) > 1e-12 || math.Abs(dl.X+dr.X) > 1e-12 {
+		t.Errorf("asymmetric rays: %v vs %v", dl, dr)
+	}
+	// All rays unit length.
+	for _, uv := range [][2]float64{{0, 0}, {1, 0}, {0.3, 0.8}} {
+		_, d := cam.Ray(uv[0], uv[1])
+		if math.Abs(d.Len()-1) > 1e-12 {
+			t.Errorf("ray (%v) not unit: %v", uv, d.Len())
+		}
+	}
+}
+
+func TestCameraDegenerateUp(t *testing.T) {
+	// Up parallel to the view direction must not produce NaN rays.
+	cam := NewCamera(New(0, 0, -5), New(0, 0, 5), New(0, 0, 1), 60, 1)
+	_, d := cam.Ray(0.2, 0.7)
+	if !d.IsFinite() {
+		t.Errorf("degenerate-up ray = %v", d)
+	}
+}
+
+func TestOrbit(t *testing.T) {
+	target := New(1, 2, 3)
+	cam := Orbit(target, 10, 0.5, 0.3, 45, 1.5)
+	if math.Abs(cam.Eye.Dist(target)-10) > 1e-12 {
+		t.Errorf("orbit radius = %v", cam.Eye.Dist(target))
+	}
+	if cam.Target != target {
+		t.Error("orbit target")
+	}
+	// Centre ray passes through the target.
+	o, d := cam.Ray(0.5, 0.5)
+	toTarget := target.Sub(o).Norm()
+	if d.Dist(toTarget) > 1e-9 {
+		t.Errorf("orbit centre ray misses target: %v vs %v", d, toTarget)
+	}
+}
+
+func TestDistSplat(t *testing.T) {
+	if New(0, 3, 4).Dist(New(0, 0, 0)) != 5 {
+		t.Error("Dist")
+	}
+	if Splat(2) != New(2, 2, 2) {
+		t.Error("Splat")
+	}
+}

@@ -1,0 +1,87 @@
+package viz
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/par"
+	"repro/internal/partition"
+	"repro/internal/render"
+)
+
+func TestRenderWallWSS(t *testing.T) {
+	f := developedField(t, 400)
+	cam := testCamera(f, 64, 48)
+	tf := render.BlueRed(0, f.MaxScalar(field.ScalarWSS))
+	img, err := RenderWallWSS(f, WallOptions{W: 64, H: 48, Camera: cam, TF: tf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := img.CoveredFraction()
+	if cov < 0.05 {
+		t.Errorf("wall render covered only %v", cov)
+	}
+	// The wall is a closed tube: its projection should cover more
+	// pixels than the streamline render but stay below full frame.
+	if cov > 0.9 {
+		t.Errorf("wall render suspiciously full: %v", cov)
+	}
+}
+
+func TestRenderWallWSSValidates(t *testing.T) {
+	f := developedField(t, 10)
+	cam := testCamera(f, 16, 16)
+	if _, err := RenderWallWSS(f, WallOptions{}); err == nil {
+		t.Error("empty options accepted")
+	}
+	noWSS := &field.Field{Dom: f.Dom, Rho: f.Rho, Ux: f.Ux, Uy: f.Uy, Uz: f.Uz}
+	if _, err := RenderWallWSS(noWSS, WallOptions{W: 16, H: 16, Camera: cam, TF: render.BlueRed(0, 1)}); err == nil {
+		t.Error("missing WSS field accepted")
+	}
+}
+
+func TestRenderWallWSSDistMatchesSerialCoverage(t *testing.T) {
+	f := developedField(t, 300)
+	const w, h, k = 48, 36, 3
+	cam := testCamera(f, w, h)
+	tf := render.BlueRed(0, f.MaxScalar(field.ScalarWSS))
+	opt := WallOptions{W: w, H: h, Camera: cam, TF: tf}
+	serial, err := RenderWallWSS(f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := partition.FromDomain(f.Dom)
+	p, err := partition.MultilevelKWay(g, k, partition.MLOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := par.NewRuntime(k)
+	var merged *render.Image
+	rt.Run(func(c *par.Comm) {
+		local := &field.Field{Dom: f.Dom, Rho: f.Rho, Ux: f.Ux, Uy: f.Uy, Uz: f.Uz, WSS: f.WSS,
+			Owned: field.OwnedMask(p.Parts, c.Rank())}
+		img, err := RenderWallWSSDist(c, local, opt)
+		if err != nil {
+			panic(err)
+		}
+		if c.Rank() == 0 {
+			merged = img
+		}
+	})
+	covS, covD := serial.CoveredFraction(), merged.CoveredFraction()
+	if math.Abs(covS-covD) > 0.05*covS+0.01 {
+		t.Errorf("distributed wall coverage %v vs serial %v", covD, covS)
+	}
+}
+
+func TestSplatBounds(t *testing.T) {
+	img := render.NewImage(8, 8)
+	// Splat partially off-screen must not panic and must draw the
+	// visible part.
+	splat(img, 0, 0, 3, render.RGBA{R: 1, A: 1}, 1)
+	splat(img, 7, 7, 2, render.RGBA{B: 1, A: 1}, 1)
+	if img.CoveredFraction() == 0 {
+		t.Error("nothing drawn")
+	}
+}
