@@ -1,0 +1,59 @@
+// Command hemeserved is the multi-tenant simulation daemon: a job
+// manager running many simulations concurrently behind a bounded
+// queue, steerable and observable over HTTP, with a shared frame cache
+// so any number of clients polling the same view cost one render.
+//
+//	hemeserved -addr 127.0.0.1:7070 -workers 4 -queue 64
+//
+// Submit and drive jobs with plain HTTP:
+//
+//	curl -X POST localhost:7070/api/v1/jobs \
+//	     -d '{"preset":"aneurysm","steps":5000,"ranks":4}'
+//	curl localhost:7070/api/v1/jobs
+//	curl "localhost:7070/api/v1/jobs/job-0001/frame?w=256&h=192" -o frame.png
+//	curl -X POST localhost:7070/api/v1/jobs/job-0001/steer \
+//	     -d '{"op":"set-iolet","iolet":0,"density":1.05}'
+//	curl localhost:7070/metrics
+//
+// SIGINT/SIGTERM drains HTTP, cancels live jobs and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "HTTP listen address")
+	workers := flag.Int("workers", 4, "concurrent simulation workers")
+	queue := flag.Int("queue", 64, "submission queue capacity")
+	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown window")
+	flag.Parse()
+
+	mgr := service.NewManager(*workers, *queue, nil)
+	srv := service.NewServer(mgr)
+	if err := srv.Start(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "hemeserved:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("hemeserved: listening on http://%s (%d workers, queue %d)\n",
+		srv.Addr(), *workers, *queue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("hemeserved: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "hemeserved: shutdown:", err)
+		os.Exit(1)
+	}
+}

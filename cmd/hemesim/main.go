@@ -42,7 +42,7 @@ func main() {
 	pulsePeriod := flag.Float64("pulse-period", 400, "inlet pulse period in steps")
 	flag.Parse()
 
-	v, err := vesselByName(*vessel, *scale)
+	v, err := geometry.VesselByName(*vessel, *scale)
 	if err != nil {
 		fail(err)
 	}
@@ -115,24 +115,6 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%dx%d)\n", *imgOut, sim.LastImage.W, sim.LastImage.H)
 	}
-}
-
-func vesselByName(name string, scale float64) (*geometry.Vessel, error) {
-	switch name {
-	case "pipe":
-		return geometry.Pipe(20*scale, 4*scale), nil
-	case "bend":
-		return geometry.Bend(12*scale, 3*scale), nil
-	case "bifurcation":
-		return geometry.Bifurcation(12*scale, 10*scale, 3*scale, 0.6), nil
-	case "aneurysm":
-		return geometry.Aneurysm(20*scale, 3.5*scale, 5*scale), nil
-	case "tree":
-		return geometry.CerebralTree(scale), nil
-	case "stenosis":
-		return geometry.Stenosis(24*scale, 4*scale, 0.5), nil
-	}
-	return nil, fmt.Errorf("unknown vessel %q", name)
 }
 
 func fail(err error) {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,12 +18,80 @@ import (
 	"repro/internal/experiments"
 )
 
+// jsonPoint is one machine-readable scaling measurement, the trajectory
+// format future PRs record as BENCH_*.json.
+type jsonPoint struct {
+	Ranks         int     `json:"ranks"`
+	Sites         int     `json:"sites"`
+	SitesPerSec   float64 `json:"sites_per_sec"`
+	HaloImbalance float64 `json:"halo_imbalance"`
+	Speedup       float64 `json:"speedup"`
+	Efficiency    float64 `json:"efficiency"`
+	StepTimeNs    int64   `json:"step_time_ns"`
+	HaloBytes     int64   `json:"halo_bytes"`
+}
+
+// Snake-case mirrors of the pre-sweep rows so the whole report keeps
+// one key convention and explicit units.
+type jsonGmyRead struct {
+	Ranks      int     `json:"ranks"`
+	Readers    int     `json:"readers"`
+	WallNs     int64   `json:"wall_ns"`
+	DistBytes  int64   `json:"dist_bytes"`
+	BalanceMax float64 `json:"balance_max"`
+}
+
+type jsonPartitioner struct {
+	Method    string  `json:"method"`
+	WallNs    int64   `json:"wall_ns"`
+	EdgeCut   float64 `json:"edge_cut"`
+	Imbalance float64 `json:"imbalance"`
+	Boundary  int     `json:"boundary"`
+}
+
+type jsonRepartition struct {
+	Alpha           float64 `json:"alpha"`
+	ImbalanceBefore float64 `json:"imbalance_before"`
+	ImbalanceAfter  float64 `json:"imbalance_after"`
+	MigratedSites   int     `json:"migrated_sites"`
+	MigrationShare  float64 `json:"migration_share"`
+}
+
+type jsonMultires struct {
+	Label        string  `json:"label"`
+	Nodes        int     `json:"nodes"`
+	Bytes        int     `json:"bytes"`
+	ReductionPct float64 `json:"reduction_pct"`
+	QueryNs      int64   `json:"query_ns"`
+}
+
+func toJSONPoints(rows []experiments.ScalingRow) []jsonPoint {
+	pts := make([]jsonPoint, 0, len(rows))
+	for _, r := range rows {
+		p := jsonPoint{
+			Ranks:         r.Ranks,
+			Sites:         r.Sites,
+			HaloImbalance: r.HaloImbalance,
+			Speedup:       r.Speedup,
+			Efficiency:    r.Efficiency,
+			StepTimeNs:    r.StepTime.Nanoseconds(),
+			HaloBytes:     r.HaloBytes,
+		}
+		if s := r.StepTime.Seconds(); s > 0 {
+			p.SitesPerSec = float64(r.Sites) / s
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
 func main() {
 	ranksFlag := flag.String("ranks", "1,2,4,8,16,32,64", "rank counts to sweep")
 	steps := flag.Int("steps", 20, "solver steps per point")
 	scale := flag.Float64("scale", 1.2, "geometry scale")
 	weak := flag.Bool("weak", true, "also run weak scaling")
 	pre := flag.Bool("pre", true, "also run pre-processing sweeps (E8/E9/E10)")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	var ranks []int
@@ -43,6 +112,13 @@ func main() {
 	}
 	fmt.Print(experiments.FormatScaling(rows, false))
 
+	report := map[string]any{
+		"bench":  "scalebench",
+		"steps":  cfg.Steps,
+		"scale":  cfg.Scale,
+		"strong": toJSONPoints(rows),
+	}
+
 	if *weak {
 		fmt.Println()
 		fmt.Println("== E7: weak scaling ==")
@@ -55,6 +131,7 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(experiments.FormatScaling(wrows, true))
+		report["weak"] = toJSONPoints(wrows)
 	}
 
 	if *pre {
@@ -65,6 +142,11 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(experiments.FormatGmyRead(grows))
+		gj := make([]jsonGmyRead, 0, len(grows))
+		for _, r := range grows {
+			gj = append(gj, jsonGmyRead{r.Ranks, r.Readers, r.Wall.Nanoseconds(), r.DistBytes, r.BalanceMax})
+		}
+		report["gmy_read"] = gj
 
 		fmt.Println()
 		fmt.Println("== partitioner comparison (ParMETIS role) ==")
@@ -73,6 +155,11 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(experiments.FormatPartitioners(prows))
+		pj := make([]jsonPartitioner, 0, len(prows))
+		for _, r := range prows {
+			pj = append(pj, jsonPartitioner{string(r.Method), r.Wall.Nanoseconds(), r.EdgeCut, r.Imbalance, r.Boundary})
+		}
+		report["partitioners"] = pj
 
 		fmt.Println()
 		fmt.Println("== E9: visualisation-aware repartitioning ==")
@@ -81,6 +168,11 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(experiments.FormatRepartition(rrows))
+		rj := make([]jsonRepartition, 0, len(rrows))
+		for _, r := range rrows {
+			rj = append(rj, jsonRepartition{r.Alpha, r.ImbalanceBefore, r.ImbalanceAfter, r.MigratedSites, r.MigrationShare})
+		}
+		report["repartition"] = rj
 
 		fmt.Println()
 		fmt.Println("== E10: multi-resolution reduction ==")
@@ -89,6 +181,26 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(experiments.FormatMultires(mrows))
+		mj := make([]jsonMultires, 0, len(mrows))
+		for _, r := range mrows {
+			mj = append(mj, jsonMultires{r.Label, r.Nodes, r.Bytes, r.ReductionPct, r.QueryTime.Nanoseconds()})
+		}
+		report["multires"] = mj
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fail(err)
+		} else {
+			fmt.Printf("\nwrote %s\n", *jsonOut)
+		}
 	}
 }
 

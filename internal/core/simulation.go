@@ -53,6 +53,17 @@ type Config struct {
 	// SteerAddr enables the steering server on that address
 	// (e.g. "127.0.0.1:0").
 	SteerAddr string
+	// Controller injects a transport-agnostic steering queue. The run
+	// loop polls it exactly as it polls the TCP server's; the HTTP
+	// service uses this to steer jobs without owning a TCP endpoint.
+	// With SteerAddr also set, the TCP transport feeds the same
+	// controller. The injector owns the controller's lifetime.
+	Controller *steering.Controller
+	// OnStep, when set, is invoked on rank 0 after every advanced time
+	// step with (stepsDone, totalSteps) — the progress hook the job
+	// manager uses. It must be cheap and must not call back into the
+	// simulation.
+	OnStep func(step, total int)
 	// PulseAmp/PulsePeriod add a sinusoidal modulation to the first
 	// inlet (cardiac waveform; 0 amplitude = steady).
 	PulseAmp    float64
@@ -82,6 +93,10 @@ type Simulation struct {
 	Part   *partition.Partition
 	RT     *par.Runtime
 	Server *steering.Server
+	// Ctrl is the steering queue the run loop polls — the injected
+	// Config.Controller, or the TCP server's own when only SteerAddr
+	// was given.
+	Ctrl *steering.Controller
 
 	// Results populated by Run.
 	LastImage   *render.Image
@@ -138,12 +153,19 @@ func New(cfg Config) (*Simulation, error) {
 		Part:  p,
 		RT:    par.NewRuntime(cfg.Ranks),
 	}
+	s.Ctrl = cfg.Controller
 	if cfg.SteerAddr != "" {
-		srv, err := steering.Serve(cfg.SteerAddr)
+		var srv *steering.Server
+		if s.Ctrl != nil {
+			srv, err = steering.ServeController(cfg.SteerAddr, s.Ctrl)
+		} else {
+			srv, err = steering.Serve(cfg.SteerAddr)
+		}
 		if err != nil {
 			return nil, err
 		}
 		s.Server = srv
+		s.Ctrl = srv.Controller()
 	}
 	return s, nil
 }
@@ -201,6 +223,9 @@ func (s *Simulation) Run(totalSteps int) error {
 				stepTimer.Start()
 				d.Step()
 				stepTimer.Stop()
+				if master && cfg.OnStep != nil {
+					cfg.OnStep(d.StepCount(), totalSteps)
+				}
 			} else {
 				step-- // don't consume steps while paused
 			}
@@ -219,7 +244,7 @@ func (s *Simulation) Run(totalSteps int) error {
 			}
 
 			vizDue := cfg.VizEvery > 0 && d.StepCount()%cfg.VizEvery == 0 && !paused
-			steerDue := s.Server != nil && (vizDue || paused || step%16 == 0)
+			steerDue := s.Ctrl != nil && (vizDue || paused || step%16 == 0)
 			if !vizDue && !steerDue {
 				continue
 			}
@@ -233,15 +258,21 @@ func (s *Simulation) Run(totalSteps int) error {
 				if vizDue {
 					cmd[0] = 1
 				}
-				if s.Server != nil {
+				if s.Ctrl != nil {
 					for {
 						var op *steering.Op
 						if paused {
-							op = s.Server.PollWait()
+							op = s.Ctrl.PollWait()
 						} else {
-							op = s.Server.Poll()
+							op = s.Ctrl.Poll()
 						}
 						if op == nil {
+							// A controller that closes while we are
+							// paused can never deliver a resume;
+							// treat it as quit so Run terminates.
+							if paused && s.Ctrl.Closed() {
+								cmd[1] = 1
+							}
 							break
 						}
 						switch op.Msg.Op {
@@ -255,6 +286,15 @@ func (s *Simulation) Run(totalSteps int) error {
 							cmd[3] = 1
 							op.Reply(steering.ServerMsg{Op: steering.OpResume})
 						case steering.OpSetIolet:
+							// Validate before acknowledging: a success
+							// reply followed by a failed apply would
+							// poison rank0Err and fail the whole run
+							// for one bad index.
+							if op.Msg.Iolet < 0 || op.Msg.Iolet >= len(s.Dom.Iolets) {
+								op.Reply(steering.ServerMsg{Op: steering.OpSetIolet,
+									Error: fmt.Sprintf("iolet %d out of range [0,%d)", op.Msg.Iolet, len(s.Dom.Iolets))})
+								break
+							}
 							cmd[4] = float64(op.Msg.Iolet + 1)
 							cmd[5] = op.Msg.Density
 							op.Reply(steering.ServerMsg{Op: steering.OpSetIolet})
@@ -291,8 +331,11 @@ func (s *Simulation) Run(totalSteps int) error {
 						// the collective path is queued: quit, resume,
 						// a render or a data request (otherwise a
 						// paused client awaiting a reply would
-						// deadlock).
-						if cmd[1] == 1 || cmd[0] == 1 || cmd[13] == 1 || (paused && cmd[3] == 1) {
+						// deadlock). A set-iolet also breaks out: the
+						// command word has one iolet slot, so a second
+						// change must wait for the next boundary
+						// rather than silently overwrite the first.
+						if cmd[1] == 1 || cmd[0] == 1 || cmd[13] == 1 || cmd[4] > 0 || (paused && cmd[3] == 1) {
 							break
 						}
 					}
@@ -318,14 +361,24 @@ func (s *Simulation) Run(totalSteps int) error {
 			}
 			if cmd[0] == 1 {
 				img := s.renderDistributed(c, d, reqFromCmd(req, cmd), myPart)
-				if master && img != nil {
-					s.LastImage = img
+				if master {
+					// Every pending op gets an answer — a failed
+					// render must not leave clients (and the frame
+					// cache's single-flight waiters) hanging until
+					// the job terminates.
 					for _, op := range s.pendingImage {
+						if img == nil {
+							op.Reply(steering.ServerMsg{Op: steering.OpImage, Error: "render failed"})
+							continue
+						}
 						rep := steering.ServerMsg{Op: steering.OpImage, W: img.W, H: img.H}
 						rep.PNG = encodePNG(img)
 						op.Reply(rep)
 					}
 					s.pendingImage = nil
+					if img != nil {
+						s.LastImage = img
+					}
 				}
 			}
 			if cmd[13] == 1 {

@@ -1,6 +1,7 @@
 package geometry
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/vec"
@@ -156,4 +157,25 @@ func Stenosis(length, radius, severity float64) *Vessel {
 			{Center: vec.New(0, 0, length), Normal: vec.New(0, 0, -1), Radius: radius, IsInlet: false, Pressure: 0.0},
 		},
 	}
+}
+
+// VesselByName maps the shared preset vocabulary (hemesim flags, the
+// service's job specs) onto the synthetic vessels above, sized by a
+// scale factor.
+func VesselByName(name string, scale float64) (*Vessel, error) {
+	switch name {
+	case "pipe":
+		return Pipe(20*scale, 4*scale), nil
+	case "bend":
+		return Bend(12*scale, 3*scale), nil
+	case "bifurcation":
+		return Bifurcation(12*scale, 10*scale, 3*scale, 0.6), nil
+	case "aneurysm":
+		return Aneurysm(20*scale, 3.5*scale, 5*scale), nil
+	case "tree":
+		return CerebralTree(scale), nil
+	case "stenosis":
+		return Stenosis(24*scale, 4*scale, 0.5), nil
+	}
+	return nil, fmt.Errorf("geometry: unknown vessel %q", name)
 }

@@ -1,0 +1,123 @@
+package service
+
+import (
+	"fmt"
+
+	"sync"
+
+	"repro/internal/insitu"
+)
+
+// maxCacheEntries bounds the cache; past it, stale entries are purged
+// wholesale (frames are cheap to regenerate, bookkeeping is not).
+const maxCacheEntries = 512
+
+// FrameCache shares rendered frames between clients: N pollers asking
+// for the same (job, view) pay for one render. Entries are valid for
+// exactly one solver step — a paused or finished job therefore serves
+// every poller from cache, while a running job still collapses
+// concurrent identical requests through single-flight.
+type FrameCache struct {
+	metrics *Metrics
+
+	mu      sync.Mutex
+	entries map[string]frameEntry
+	flights map[string]*flight
+}
+
+type frameEntry struct {
+	png  []byte
+	w, h int
+	step int
+}
+
+// flight is one in-progress render; latecomers wait on done instead of
+// rendering again.
+type flight struct {
+	done chan struct{}
+	png  []byte
+	w, h int
+	err  error
+}
+
+// NewFrameCache returns an empty cache reporting into metrics.
+func NewFrameCache(metrics *Metrics) *FrameCache {
+	if metrics == nil {
+		metrics = &Metrics{}
+	}
+	return &FrameCache{
+		metrics: metrics,
+		entries: make(map[string]frameEntry),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Get returns the cached frame for key at the given solver step, or
+// renders it exactly once no matter how many goroutines ask.
+func (c *FrameCache) Get(key string, step int, render func() ([]byte, int, int, error)) ([]byte, int, int, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok && e.step == step {
+		c.mu.Unlock()
+		c.metrics.FrameCacheHits.Add(1)
+		return e.png, e.w, e.h, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, 0, 0, f.err
+		}
+		// Dedup through an in-progress render spared this caller the
+		// work; count it with the hits.
+		c.metrics.FrameCacheHits.Add(1)
+		return f.png, f.w, f.h, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+	c.metrics.FrameCacheMiss.Add(1)
+
+	f.png, f.w, f.h, f.err = render()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil {
+		if len(c.entries) >= maxCacheEntries {
+			c.entries = make(map[string]frameEntry)
+		}
+		c.entries[key] = frameEntry{png: f.png, w: f.w, h: f.h, step: step}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.png, f.w, f.h, f.err
+}
+
+// Len reports the number of cached frames (for tests).
+func (c *FrameCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// frameKey canonicalises a render request per job; every parameter the
+// renderer honours is part of the identity.
+func frameKey(jobID string, req insitu.Request) string {
+	return fmt.Sprintf("%s|m%d|s%d|%dx%d|az%.5f|el%.5f|d%.5f|roi%v%v|lv%d,%d|n%d",
+		jobID, req.Mode, req.Scalar, req.W, req.H,
+		req.Azimuth, req.Elevation, req.DistFactor,
+		req.ROI.Min, req.ROI.Max, req.DetailLevel, req.ContextLevel,
+		req.NumSeeds)
+}
+
+// Frame is the cached render entry point used by the HTTP layer: it
+// keys on (job, request) and on the job's current step so a view stays
+// fresh while the solver advances.
+func (m *Manager) Frame(j *Job, req insitu.Request, cache *FrameCache) ([]byte, int, int, error) {
+	if st := j.State(); st == StateQueued {
+		return nil, 0, 0, ErrNotRunning
+	}
+	step := j.Step()
+	return cache.Get(frameKey(j.ID, req), step, func() ([]byte, int, int, error) {
+		return m.renderFrame(j, req)
+	})
+}

@@ -1,0 +1,363 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/field"
+	"repro/internal/insitu"
+	"repro/internal/steering"
+	"repro/internal/vec"
+)
+
+// Server is the HTTP front of the job manager: the multi-tenant API
+// (submit/list/steer/frames/data) plus operational endpoints
+// (/metrics, /healthz). All handlers are stdlib net/http.
+type Server struct {
+	mgr   *Manager
+	cache *FrameCache
+	http  *http.Server
+	ln    net.Listener
+}
+
+// NewServer wires the API over a manager with a fresh frame cache.
+func NewServer(mgr *Manager) *Server {
+	s := &Server{mgr: mgr, cache: NewFrameCache(mgr.Metrics())}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/pause", s.handlePause)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/resume", s.handleResume)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/steer", s.handleSteer)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/status", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/frame", s.handleFrame)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/data", s.handleData)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mgr.Metrics().HTTPRequests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+	s.http = &http.Server{Handler: counted, ReadHeaderTimeout: 10 * time.Second}
+	return s
+}
+
+// Cache exposes the frame cache (for tests and in-process callers).
+func (s *Server) Cache() *FrameCache { return s.cache }
+
+// Start binds addr and serves in the background; it returns once the
+// listener is live so callers can read Addr immediately.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	go s.http.Serve(ln)
+	return nil
+}
+
+// Addr is the bound listen address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains HTTP connections, then cancels every live job and
+// waits for the worker pool — the graceful stop.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	s.mgr.Close()
+	return err
+}
+
+// writeErr maps manager errors onto status codes.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrInternal):
+		// keep 500: server-side failure, not the client's fault
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotRunning), errors.Is(err, ErrFinished),
+		errors.Is(err, steering.ErrClosed):
+		// steering.ErrClosed surfaces when a job reaches a terminal
+		// state between the handler's state check and the op — the
+		// request was fine, the job is just gone.
+		code = http.StatusConflict
+	case strings.Contains(err.Error(), "service:"):
+		code = http.StatusBadRequest
+	case strings.Contains(err.Error(), "steering:"):
+		code = http.StatusBadRequest
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, fmt.Errorf("service: bad spec: %w", err))
+		return
+	}
+	j, err := s.mgr.Submit(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, j.Info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Info())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if err := s.mgr.Cancel(j); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+func (s *Server) handlePause(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if err := s.mgr.Pause(j); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if err := s.mgr.Resume(j); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+func (s *Server) handleSteer(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	var msg steering.ClientMsg
+	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+		writeErr(w, fmt.Errorf("service: bad steer body: %w", err))
+		return
+	}
+	if err := s.mgr.Steer(j, msg); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"applied": msg.Op})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	st, err := s.mgr.Status(j)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	req, err := frameRequest(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	png, imgW, imgH, err := s.mgr.Frame(j, req, s.cache)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Header().Set("X-Frame-Width", strconv.Itoa(imgW))
+	w.Header().Set("X-Frame-Height", strconv.Itoa(imgH))
+	w.Write(png)
+}
+
+func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	roiMin, err := parseV3(q.Get("min"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	roiMax, err := parseV3(q.Get("max"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	detail := parseIntDefault(q.Get("detail"), 0)
+	context := parseIntDefault(q.Get("context"), 3)
+	nodes, err := s.mgr.Data(j, roiMin, roiMax, detail, context)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(nodes)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.mgr.Metrics().WriteTo(w)
+}
+
+// frameRequest parses the render query parameters, defaulting to the
+// unattended in situ view.
+func frameRequest(r *http.Request) (insitu.Request, error) {
+	q := r.URL.Query()
+	req := insitu.DefaultRequest()
+	req.Scalar = field.ScalarSpeed
+	if v := q.Get("w"); v != "" {
+		req.W = parseIntDefault(v, req.W)
+	}
+	if v := q.Get("h"); v != "" {
+		req.H = parseIntDefault(v, req.H)
+	}
+	if req.W <= 0 || req.H <= 0 || req.W > 2048 || req.H > 2048 {
+		return req, fmt.Errorf("service: frame size %dx%d out of range", req.W, req.H)
+	}
+	switch m := q.Get("mode"); m {
+	case "", "volume":
+		req.Mode = insitu.ModeVolume
+	case "streamlines":
+		req.Mode = insitu.ModeStreamlines
+	case "lic":
+		req.Mode = insitu.ModeLIC
+	default:
+		return req, fmt.Errorf("service: unknown mode %q", m)
+	}
+	switch sc := q.Get("scalar"); sc {
+	case "", "speed":
+		req.Scalar = field.ScalarSpeed
+	case "rho", "density":
+		req.Scalar = field.ScalarRho
+	default:
+		return req, fmt.Errorf("service: unknown scalar %q", sc)
+	}
+	req.Azimuth = parseFloatDefault(q.Get("az"), req.Azimuth)
+	req.Elevation = parseFloatDefault(q.Get("el"), req.Elevation)
+	req.DistFactor = parseFloatDefault(q.Get("dist"), req.DistFactor)
+	if v := q.Get("roi_min"); v != "" {
+		mn, err := parseV3(v)
+		if err != nil {
+			return req, err
+		}
+		mx, err := parseV3(q.Get("roi_max"))
+		if err != nil {
+			return req, err
+		}
+		req.ROI = vec.NewBox(vec.New(mn[0], mn[1], mn[2]), vec.New(mx[0], mx[1], mx[2]))
+	}
+	return req, nil
+}
+
+// parseV3 reads "x,y,z"; empty means origin.
+func parseV3(s string) ([3]float64, error) {
+	var v [3]float64
+	if s == "" {
+		return v, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return v, fmt.Errorf("service: want x,y,z, got %q", s)
+	}
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return v, fmt.Errorf("service: bad coordinate %q", p)
+		}
+		v[i] = f
+	}
+	return v, nil
+}
+
+func parseIntDefault(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func parseFloatDefault(s string, def float64) float64 {
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return def
+	}
+	return v
+}

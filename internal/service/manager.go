@@ -1,0 +1,440 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/insitu"
+	"repro/internal/steering"
+)
+
+// JobState is the lifecycle of one managed simulation.
+type JobState string
+
+// Lifecycle: queued → running ⇄ paused → done | failed | cancelled.
+// A queued job can also go straight to cancelled.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StatePaused    JobState = "paused"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Errors the HTTP layer maps onto status codes.
+var (
+	ErrQueueFull  = fmt.Errorf("service: submission queue full")
+	ErrClosed     = fmt.Errorf("service: manager closed")
+	ErrNotFound   = fmt.Errorf("service: no such job")
+	ErrNotRunning = fmt.Errorf("service: job is not running")
+	ErrFinished   = fmt.Errorf("service: job already finished")
+	// ErrInternal marks server-side failures (a render or reply that
+	// went wrong) as distinct from bad requests.
+	ErrInternal = fmt.Errorf("service: internal error")
+)
+
+// Job is one managed simulation: the spec it was submitted with, its
+// private steering controller (the transport-agnostic queue the run
+// loop polls) and its lifecycle bookkeeping.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	ctrl *steering.Controller
+	step atomic.Int64
+
+	mu       sync.Mutex
+	state    JobState
+	errMsg   string
+	sim      *core.Simulation
+	numSites int
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	// cancelRequested marks a quit issued by Cancel so the final state
+	// is cancelled, not done.
+	cancelRequested bool
+}
+
+// JobInfo is the JSON snapshot served by list/get.
+type JobInfo struct {
+	ID         string   `json:"id"`
+	Name       string   `json:"name,omitempty"`
+	Preset     string   `json:"preset"`
+	Ranks      int      `json:"ranks"`
+	State      JobState `json:"state"`
+	Step       int      `json:"step"`
+	TotalSteps int      `json:"total_steps"`
+	NumSites   int      `json:"num_sites,omitempty"`
+	Error      string   `json:"error,omitempty"`
+	CreatedAt  string   `json:"created_at"`
+	StartedAt  string   `json:"started_at,omitempty"`
+	FinishedAt string   `json:"finished_at,omitempty"`
+}
+
+// Info snapshots the job for serialisation.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:         j.ID,
+		Name:       j.Spec.Name,
+		Preset:     j.Spec.Preset,
+		Ranks:      j.Spec.Ranks,
+		State:      j.state,
+		Step:       int(j.step.Load()),
+		TotalSteps: j.Spec.Steps,
+		NumSites:   j.numSites,
+		Error:      j.errMsg,
+		CreatedAt:  j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		info.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		info.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return info
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Step returns the last step the solver reported.
+func (j *Job) Step() int { return int(j.step.Load()) }
+
+// Manager owns the bounded submission queue and the worker pool that
+// drains it, one core.Simulation per worker at a time.
+type Manager struct {
+	metrics *Metrics
+	queue   chan *Job
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int64
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// NewManager starts workers goroutines over a queue of capacity
+// queueCap. Zero values fall back to 2 workers / 16 slots.
+func NewManager(workers, queueCap int, metrics *Metrics) *Manager {
+	if workers <= 0 {
+		workers = 2
+	}
+	if queueCap <= 0 {
+		queueCap = 16
+	}
+	if metrics == nil {
+		metrics = &Metrics{}
+	}
+	m := &Manager{
+		metrics: metrics,
+		queue:   make(chan *Job, queueCap),
+		jobs:    make(map[string]*Job),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Metrics exposes the counter set shared with the HTTP layer.
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// Submit validates a spec and enqueues the job, failing fast when the
+// queue is full — backpressure instead of unbounded memory.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		m.metrics.JobsRejected.Add(1)
+		return nil, err
+	}
+	spec = spec.withDefaults()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.metrics.JobsRejected.Add(1)
+		return nil, ErrClosed
+	}
+	m.nextID++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%04d", m.nextID),
+		Spec:    spec,
+		ctrl:    steering.NewController(),
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.nextID--
+		m.mu.Unlock()
+		m.metrics.JobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.mu.Unlock()
+	m.metrics.JobsSubmitted.Add(1)
+	return j, nil
+}
+
+// Get looks a job up by ID.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// List snapshots all jobs in submission order.
+func (m *Manager) List() []JobInfo {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	infos := make([]JobInfo, 0, len(jobs))
+	for _, j := range jobs {
+		infos = append(infos, j.Info())
+	}
+	return infos
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+// run executes one job to a terminal state.
+func (m *Manager) run(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		j.mu.Unlock()
+		j.ctrl.Close()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	cfg, err := j.Spec.coreConfig()
+	if err != nil {
+		m.finish(j, err, false)
+		return
+	}
+	cfg.Controller = j.ctrl
+	cfg.OnStep = func(step, total int) { j.step.Store(int64(step)) }
+	sim, err := core.New(cfg)
+	if err != nil {
+		m.finish(j, err, false)
+		return
+	}
+	j.mu.Lock()
+	j.sim = sim
+	j.numSites = sim.Dom.NumSites()
+	j.mu.Unlock()
+	runErr := sim.Run(j.Spec.Steps)
+	m.finish(j, runErr, sim.StepsDone >= j.Spec.Steps)
+}
+
+// finish moves a job to its terminal state and closes its controller
+// so late Do calls fail instead of blocking forever. A run that
+// executed every requested step counts as done even when a cancel
+// raced its completion — the work happened.
+func (m *Manager) finish(j *Job, runErr error, completed bool) {
+	j.ctrl.Close()
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case runErr != nil:
+		j.state = StateFailed
+		j.errMsg = runErr.Error()
+		m.metrics.JobsFailed.Add(1)
+	case j.cancelRequested && !completed:
+		j.state = StateCancelled
+		m.metrics.JobsCancelled.Add(1)
+	default:
+		j.state = StateDone
+		m.metrics.JobsDone.Add(1)
+	}
+	j.mu.Unlock()
+}
+
+// do round-trips a steering op against a live job.
+func (m *Manager) do(j *Job, msg steering.ClientMsg) (steering.ServerMsg, error) {
+	st := j.State()
+	if st == StateQueued {
+		return steering.ServerMsg{}, ErrNotRunning
+	}
+	if st.Terminal() {
+		return steering.ServerMsg{}, ErrFinished
+	}
+	return j.ctrl.Do(msg)
+}
+
+// Pause suspends time stepping; the job keeps servicing steering.
+func (m *Manager) Pause(j *Job) error {
+	if _, err := m.do(j, steering.ClientMsg{Op: steering.OpPause}); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if j.state == StateRunning {
+		j.state = StatePaused
+	}
+	j.mu.Unlock()
+	return nil
+}
+
+// Resume continues a paused job.
+func (m *Manager) Resume(j *Job) error {
+	if _, err := m.do(j, steering.ClientMsg{Op: steering.OpResume}); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if j.state == StatePaused {
+		j.state = StateRunning
+	}
+	j.mu.Unlock()
+	return nil
+}
+
+// Cancel terminates a job in any non-terminal state.
+func (m *Manager) Cancel(j *Job) error {
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		j.mu.Unlock()
+		return ErrFinished
+	case j.state == StateQueued:
+		// The worker will observe the state and skip the run.
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.mu.Unlock()
+		m.metrics.JobsCancelled.Add(1)
+		j.ctrl.Close()
+		return nil
+	default:
+		j.cancelRequested = true
+		j.mu.Unlock()
+		// Quit rides the normal steering path; "controller closed"
+		// just means the job beat us to a terminal state.
+		if _, err := j.ctrl.Do(steering.ClientMsg{Op: steering.OpQuit}); err != nil && !j.State().Terminal() {
+			return err
+		}
+		return nil
+	}
+}
+
+// Steer applies a parameter change (set-iolet or set-roi) to a live
+// job over its controller.
+func (m *Manager) Steer(j *Job, msg steering.ClientMsg) error {
+	if msg.Op != steering.OpSetIolet && msg.Op != steering.OpSetROI {
+		return fmt.Errorf("service: steer accepts %s or %s, got %q",
+			steering.OpSetIolet, steering.OpSetROI, msg.Op)
+	}
+	m.metrics.SteerOps.Add(1)
+	_, err := m.do(j, msg)
+	return err
+}
+
+// Status fetches the live steering status report of a running job.
+func (m *Manager) Status(j *Job) (*steering.Status, error) {
+	rep, err := m.do(j, steering.ClientMsg{Op: steering.OpStatus})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Status == nil {
+		return nil, fmt.Errorf("%w: empty status reply", ErrInternal)
+	}
+	return rep.Status, nil
+}
+
+// Data fetches the §V reduced octree representation for an ROI.
+func (m *Manager) Data(j *Job, roiMin, roiMax [3]float64, detail, context int) ([]byte, error) {
+	m.metrics.DataRequests.Add(1)
+	rep, err := m.do(j, steering.ClientMsg{
+		Op: steering.OpData, ROIMin: roiMin, ROIMax: roiMax,
+		Detail: detail, Context: context,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Nodes, nil
+}
+
+// renderFrame produces a PNG for the request against a live job, or
+// serves the final in situ frame of a finished one.
+func (m *Manager) renderFrame(j *Job, req insitu.Request) ([]byte, int, int, error) {
+	m.metrics.RendersTotal.Add(1)
+	st := j.State()
+	if st.Terminal() {
+		j.mu.Lock()
+		sim := j.sim
+		j.mu.Unlock()
+		if sim == nil || sim.LastImage == nil {
+			return nil, 0, 0, fmt.Errorf("%w: no frame recorded for finished job", ErrFinished)
+		}
+		var buf bytes.Buffer
+		if err := sim.LastImage.EncodePNG(&buf); err != nil {
+			return nil, 0, 0, err
+		}
+		return buf.Bytes(), sim.LastImage.W, sim.LastImage.H, nil
+	}
+	rep, err := m.do(j, steering.ClientMsg{Op: steering.OpImage, Request: &req})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if len(rep.PNG) == 0 {
+		return nil, 0, 0, fmt.Errorf("%w: render produced no image", ErrInternal)
+	}
+	return rep.PNG, rep.W, rep.H, nil
+}
+
+// Close stops accepting jobs, cancels everything in flight and waits
+// for the workers — the graceful-shutdown path.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	close(m.queue)
+	m.mu.Unlock()
+	for _, j := range jobs {
+		if !j.State().Terminal() {
+			_ = m.Cancel(j)
+		}
+	}
+	m.wg.Wait()
+}

@@ -1,0 +1,51 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics are the service's monotonic counters, exposed at /metrics in
+// the flat `name value` text form scrapers expect.
+type Metrics struct {
+	JobsSubmitted  atomic.Int64
+	JobsRejected   atomic.Int64
+	JobsDone       atomic.Int64
+	JobsFailed     atomic.Int64
+	JobsCancelled  atomic.Int64
+	RendersTotal   atomic.Int64
+	FrameCacheHits atomic.Int64
+	FrameCacheMiss atomic.Int64
+	SteerOps       atomic.Int64
+	DataRequests   atomic.Int64
+	HTTPRequests   atomic.Int64
+}
+
+// WriteTo emits the counters, satisfying the /metrics handler.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"hemeserved_jobs_submitted_total", m.JobsSubmitted.Load()},
+		{"hemeserved_jobs_rejected_total", m.JobsRejected.Load()},
+		{"hemeserved_jobs_done_total", m.JobsDone.Load()},
+		{"hemeserved_jobs_failed_total", m.JobsFailed.Load()},
+		{"hemeserved_jobs_cancelled_total", m.JobsCancelled.Load()},
+		{"hemeserved_renders_total", m.RendersTotal.Load()},
+		{"hemeserved_frame_cache_hits_total", m.FrameCacheHits.Load()},
+		{"hemeserved_frame_cache_misses_total", m.FrameCacheMiss.Load()},
+		{"hemeserved_steer_ops_total", m.SteerOps.Load()},
+		{"hemeserved_data_requests_total", m.DataRequests.Load()},
+		{"hemeserved_http_requests_total", m.HTTPRequests.Load()},
+	} {
+		n, err := fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -118,6 +118,13 @@ func (c *Conn) recv(v any) error {
 	return json.Unmarshal(line, v)
 }
 
+// recvLine reads one raw frame, leaving decoding to the caller so a
+// malformed frame can be answered without tearing the connection down
+// (newline framing stays intact regardless of the payload).
+func (c *Conn) recvLine() ([]byte, error) {
+	return c.r.ReadBytes('\n')
+}
+
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.c.Close() }
 
@@ -133,25 +140,48 @@ func (o *Op) Reply(m ServerMsg) { o.reply <- m }
 // Server accepts steering clients and queues their requests for the
 // simulation master to poll between time steps (step 3-6 of the §IV-C1
 // sequence: client sends parameters → master propagates → visualisation
-// component builds the image → image returns to the client).
+// component builds the image → image returns to the client). The queue
+// itself lives in a transport-agnostic Controller; the Server is just
+// the newline-JSON-over-TCP transport in front of it.
 type Server struct {
-	ln   net.Listener
-	reqs chan *Op
-	done chan struct{}
-	wg   sync.WaitGroup
+	ln        net.Listener
+	ctrl      *Controller
+	ownCtrl   bool
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[*Conn]struct{}
 }
 
-// Serve starts listening on addr (e.g. "127.0.0.1:0").
+// Serve starts listening on addr (e.g. "127.0.0.1:0") with a private
+// controller, owned and closed by the server.
 func Serve(addr string) (*Server, error) {
+	s, err := ServeController(addr, NewController())
+	if err != nil {
+		return nil, err
+	}
+	s.ownCtrl = true
+	return s, nil
+}
+
+// ServeController starts the TCP transport in front of an existing
+// controller — e.g. one shared with the HTTP service — which the
+// caller remains responsible for closing.
+func ServeController(addr string, ctrl *Controller) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("steering: %w", err)
 	}
-	s := &Server{ln: ln, reqs: make(chan *Op, 64), done: make(chan struct{})}
+	s := &Server{ln: ln, ctrl: ctrl, done: make(chan struct{}), conns: make(map[*Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
+
+// Controller returns the queue this transport feeds.
+func (s *Server) Controller() *Controller { return s.ctrl }
 
 // Addr returns the bound address for clients to dial.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
@@ -163,30 +193,68 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		c := newConn(conn)
+		// Registration and Close's sweep share connMu: either the
+		// sweep sees this conn and closes it, or we see done already
+		// closed and refuse the late accept — otherwise a connection
+		// accepted just before Close would park a handler in a read
+		// forever and deadlock Close's wg.Wait.
+		s.connMu.Lock()
+		select {
+		case <-s.done:
+			s.connMu.Unlock()
+			c.Close()
+			continue
+		default:
+		}
+		s.conns[c] = struct{}{}
+		s.connMu.Unlock()
 		s.wg.Add(1)
-		go s.clientLoop(newConn(conn))
+		go s.clientLoop(c)
 	}
 }
 
 func (s *Server) clientLoop(c *Conn) {
 	defer s.wg.Done()
-	defer c.Close()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, c)
+		s.connMu.Unlock()
+		c.Close()
+	}()
 	for {
-		var msg ClientMsg
-		if err := c.recv(&msg); err != nil {
+		line, err := c.recvLine()
+		if err != nil {
 			return
 		}
-		op := &Op{Msg: msg, reply: make(chan ServerMsg, 1)}
-		select {
-		case s.reqs <- op:
-		case <-s.done:
-			return
+		var msg ClientMsg
+		if err := json.Unmarshal(line, &msg); err != nil {
+			// Framing is intact (one line consumed); answer and keep
+			// the connection rather than dropping the client.
+			if err := c.send(ServerMsg{Error: "malformed frame: " + err.Error()}); err != nil {
+				return
+			}
+			continue
+		}
+		op, err := s.ctrl.Submit(msg)
+		if err != nil {
+			select {
+			case <-s.ctrl.Done():
+				return
+			default:
+			}
+			if err := c.send(ServerMsg{Op: msg.Op, Error: err.Error()}); err != nil {
+				return
+			}
+			continue
 		}
 		select {
 		case rep := <-op.reply:
 			if err := c.send(rep); err != nil {
 				return
 			}
+		case <-s.ctrl.Done():
+			return
 		case <-s.done:
 			return
 		}
@@ -197,30 +265,30 @@ func (s *Server) clientLoop(c *Conn) {
 }
 
 // Poll returns the next pending request without blocking, or nil.
-func (s *Server) Poll() *Op {
-	select {
-	case op := <-s.reqs:
-		return op
-	default:
-		return nil
-	}
-}
+func (s *Server) Poll() *Op { return s.ctrl.Poll() }
 
 // PollWait blocks until a request arrives or the server closes; used
 // while the simulation is paused.
-func (s *Server) PollWait() *Op {
-	select {
-	case op := <-s.reqs:
-		return op
-	case <-s.done:
-		return nil
-	}
-}
+func (s *Server) PollWait() *Op { return s.ctrl.PollWait() }
 
-// Close stops accepting and unblocks handlers.
+// Close stops accepting, unblocks handlers, and closes the controller
+// when the server owns it. Safe to call more than once.
 func (s *Server) Close() {
-	close(s.done)
-	s.ln.Close()
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.ln.Close()
+		// Unblock handlers parked in a read on a live connection;
+		// done is closed first so acceptLoop cannot register a new
+		// conn after this sweep.
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		if s.ownCtrl {
+			s.ctrl.Close()
+		}
+	})
 	s.wg.Wait()
 }
 
