@@ -1,9 +1,12 @@
 // Command hemeserved is the multi-tenant simulation daemon: a job
 // manager running many simulations concurrently behind a bounded
-// queue, steerable and observable over HTTP, with a shared frame cache
-// so any number of clients polling the same view cost one render.
+// queue, steerable and observable over HTTP. Frames render on a
+// dedicated pool from solver snapshots — outside every solver loop —
+// and fan out through a shared LRU cache, so any number of clients on
+// the same view cost one render, whether they poll /frame or follow
+// the /stream push feed.
 //
-//	hemeserved -addr 127.0.0.1:7070 -workers 4 -queue 64
+//	hemeserved -addr 127.0.0.1:7070 -workers 4 -queue 64 -render-workers 4
 //
 // Submit and drive jobs with plain HTTP:
 //
@@ -11,11 +14,13 @@
 //	     -d '{"preset":"aneurysm","steps":5000,"ranks":4}'
 //	curl localhost:7070/api/v1/jobs
 //	curl "localhost:7070/api/v1/jobs/job-0001/frame?w=256&h=192" -o frame.png
+//	curl -N "localhost:7070/api/v1/jobs/job-0001/stream?w=256&h=192"   # SSE frame feed
 //	curl -X POST localhost:7070/api/v1/jobs/job-0001/steer \
 //	     -d '{"op":"set-iolet","iolet":0,"density":1.05}'
 //	curl localhost:7070/metrics
 //
-// SIGINT/SIGTERM drains HTTP, cancels live jobs and exits.
+// SIGINT/SIGTERM ends live streams, drains HTTP, cancels live jobs and
+// exits.
 package main
 
 import (
@@ -34,10 +39,19 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "HTTP listen address")
 	workers := flag.Int("workers", 4, "concurrent simulation workers")
 	queue := flag.Int("queue", 64, "submission queue capacity")
+	renderWorkers := flag.Int("render-workers", 0, "render pool workers (0 = same as -workers)")
+	renderQueue := flag.Int("render-queue", 0, "render pool queue depth (0 = 4x render workers)")
+	cacheEntries := flag.Int("cache", 0, "frame cache capacity in entries (0 = 512)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown window")
 	flag.Parse()
 
-	mgr := service.NewManager(*workers, *queue, nil)
+	mgr := service.NewManagerOpts(service.Options{
+		Workers:       *workers,
+		QueueCap:      *queue,
+		RenderWorkers: *renderWorkers,
+		RenderQueue:   *renderQueue,
+		CacheEntries:  *cacheEntries,
+	})
 	srv := service.NewServer(mgr)
 	if err := srv.Start(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "hemeserved:", err)

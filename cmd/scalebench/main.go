@@ -65,6 +65,14 @@ type jsonMultires struct {
 	QueryNs      int64   `json:"query_ns"`
 }
 
+type jsonStream struct {
+	Subscribers    int     `json:"subscribers"`
+	StepsPerSec    float64 `json:"steps_per_sec"`
+	Frames         int64   `json:"frames_delivered"`
+	Renders        int64   `json:"renders_used"`
+	FrameLatencyNs int64   `json:"frame_latency_ns"`
+}
+
 func toJSONPoints(rows []experiments.ScalingRow) []jsonPoint {
 	pts := make([]jsonPoint, 0, len(rows))
 	for _, r := range rows {
@@ -91,6 +99,7 @@ func main() {
 	scale := flag.Float64("scale", 1.2, "geometry scale")
 	weak := flag.Bool("weak", true, "also run weak scaling")
 	pre := flag.Bool("pre", true, "also run pre-processing sweeps (E8/E9/E10)")
+	stream := flag.Bool("stream", true, "also run the service frame-streaming sweep")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file (\"-\" = stdout)")
 	flag.Parse()
 
@@ -186,6 +195,22 @@ func main() {
 			mj = append(mj, jsonMultires{r.Label, r.Nodes, r.Bytes, r.ReductionPct, r.QueryTime.Nanoseconds()})
 		}
 		report["multires"] = mj
+	}
+
+	if *stream {
+		fmt.Println()
+		fmt.Println("== service: render offload / frame streaming ==")
+		srows, err := experiments.StreamSweep([]int{0, 1, 2, 4}, 0)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatStream(srows))
+		sj := make([]jsonStream, 0, len(srows))
+		for _, r := range srows {
+			sj = append(sj, jsonStream{r.Subscribers, r.StepsPerSec, r.FramesDelivered,
+				r.RendersUsed, r.MeanFrameLatency.Nanoseconds()})
+		}
+		report["stream"] = sj
 	}
 
 	if *jsonOut != "" {

@@ -1,10 +1,13 @@
 // Example service demonstrates the multi-tenant layer end to end,
 // self-contained: it starts the hemeserved service in-process, submits
-// three simulations over HTTP, steers one mid-run, and has two clients
-// poll the same frame to show the shared cache collapsing the renders.
+// three simulations over HTTP, steers one mid-run, has two clients
+// poll the same frame to show the shared cache collapsing the renders,
+// and attaches two live SSE subscribers to one job to show the render
+// pool pushing each snapshot's frame once to everyone.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -12,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -73,6 +77,22 @@ func main() {
 		`{"op":"set-iolet","iolet":0,"density":1.05}`, nil)
 	fmt.Println("steered", ids[0], "inlet density -> 1.05")
 
+	// Live streaming: two SSE subscribers follow the same view of the
+	// third job. Each snapshot is rendered once (off the solver loop,
+	// on the render pool) and pushed to both — no polling.
+	var swg sync.WaitGroup
+	streamed := make([][]int, 2)
+	for i := range streamed {
+		swg.Add(1)
+		go func(i int) {
+			defer swg.Done()
+			streamed[i] = streamSteps(base+"/api/v1/jobs/"+ids[2]+"/stream?w=96&h=72", 3)
+		}(i)
+	}
+	swg.Wait()
+	fmt.Printf("two SSE subscribers received frames at steps %v and %v\n",
+		streamed[0], streamed[1])
+
 	// Pause the second job and have two clients fetch the same view:
 	// one render, two consumers.
 	postJSON(base+"/api/v1/jobs/"+ids[1]+"/pause", "", nil)
@@ -100,6 +120,35 @@ func main() {
 		fail(err)
 	}
 	fmt.Println("shut down cleanly")
+}
+
+// streamSteps subscribes to an SSE frame feed and returns the solver
+// steps of the first n frames received.
+func streamSteps(url string, n int) []int {
+	rep, err := http.Get(url)
+	if err != nil {
+		fail(err)
+	}
+	defer rep.Body.Close()
+	if rep.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("stream %s: %s", url, rep.Status))
+	}
+	sc := bufio.NewScanner(rep.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var steps []int
+	for len(steps) < n && sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var f struct {
+			Step int `json:"step"`
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f); err == nil && f.Step > 0 {
+			steps = append(steps, f.Step)
+		}
+	}
+	return steps
 }
 
 func postJSON(url, body string, out any) {

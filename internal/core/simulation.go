@@ -8,7 +8,6 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
 	"time"
 
@@ -64,6 +63,16 @@ type Config struct {
 	// manager uses. It must be cheap and must not call back into the
 	// simulation.
 	OnStep func(step, total int)
+	// OnSnapshot, when set together with SnapshotEvery > 0, receives on
+	// rank 0 an immutable full-domain field snapshot every
+	// SnapshotEvery steps (and a final one when the run ends). The hook
+	// runs on the solver's critical path: it must be O(1) — publish the
+	// pointer and return. Rendering from the snapshot happens on the
+	// caller's own goroutines, decoupling frame latency from step cost.
+	OnSnapshot func(*Snapshot)
+	// SnapshotEvery is the snapshot cadence in steps; 0 disables
+	// publication entirely.
+	SnapshotEvery int
 	// PulseAmp/PulsePeriod add a sinusoidal modulation to the first
 	// inlet (cardiac waveform; 0 amplitude = steady).
 	PulseAmp    float64
@@ -213,6 +222,9 @@ func (s *Simulation) Run(totalSteps int) error {
 		req := cfg.VizRequest
 		paused := false
 		quit := false
+		// lastSnapStep is per-rank local but evolves identically on
+		// every rank, keeping snapshot gathers collective.
+		lastSnapStep := -1
 		var stepTimer stats.Timer
 
 		for step := 0; step < totalSteps && !quit; step++ {
@@ -241,6 +253,17 @@ func (s *Simulation) Run(totalSteps int) error {
 				if master {
 					s.Repartition = rep
 				}
+			}
+
+			// Snapshot publication (render offload): a collective gather
+			// at a deterministic cadence — every rank computes the same
+			// snapDue from broadcast-synchronised state, so no extra
+			// command round is needed.
+			snapDue := cfg.SnapshotEvery > 0 && cfg.OnSnapshot != nil &&
+				!paused && d.StepCount()%cfg.SnapshotEvery == 0
+			if snapDue {
+				s.publishSnapshot(c, d)
+				lastSnapStep = d.StepCount()
 			}
 
 			vizDue := cfg.VizEvery > 0 && d.StepCount()%cfg.VizEvery == 0 && !paused
@@ -402,6 +425,14 @@ func (s *Simulation) Run(totalSteps int) error {
 			}
 
 		}
+		// Publish the final state so late-joining viewers (and frame
+		// requests after the run finished) see the last step without a
+		// live solver — unless the cadence already captured it. Loop
+		// exit is collective (quit is broadcast), so every rank
+		// reaches this gather.
+		if cfg.SnapshotEvery > 0 && cfg.OnSnapshot != nil && d.StepCount() != lastSnapStep {
+			s.publishSnapshot(c, d)
+		}
 		if master {
 			s.Part = myPart
 			s.StepsDone = d.StepCount()
@@ -423,11 +454,11 @@ func (s *Simulation) Run(totalSteps int) error {
 // encodePNG renders an image to PNG bytes; returns nil on failure (the
 // steering client treats an empty PNG as an error).
 func encodePNG(img *render.Image) []byte {
-	var buf bytes.Buffer
-	if err := img.EncodePNG(&buf); err != nil {
+	png, err := render.EncodePNGBytes(img)
+	if err != nil {
 		return nil
 	}
-	return buf.Bytes()
+	return png
 }
 
 func reqFromCmd(req insitu.Request, cmd []float64) insitu.Request {

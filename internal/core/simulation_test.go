@@ -183,6 +183,82 @@ func errf(format string, args ...any) error {
 	return fmt.Errorf(format, args...)
 }
 
+// TestSnapshotPublication exercises the render-offload hook: snapshots
+// arrive at the configured cadence, carry full-domain fields, and each
+// one is an independent copy (later solver steps must not mutate an
+// already-published snapshot).
+func TestSnapshotPublication(t *testing.T) {
+	var snaps []*Snapshot
+	s, err := New(Config{
+		Vessel: geometry.Aneurysm(16, 3, 4), H: 1, Tau: 0.9,
+		Ranks: 2, VizEvery: 0,
+		SnapshotEvery: 10,
+		OnSnapshot:    func(sn *Snapshot) { snaps = append(snaps, sn) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	// Steps 10, 20, 30, 40; the final publication is skipped because
+	// the cadence already captured step 40.
+	if len(snaps) != 4 {
+		t.Fatalf("got %d snapshots, want 4", len(snaps))
+	}
+	wantSteps := []int{10, 20, 30, 40}
+	n := s.Dom.NumSites()
+	for i, sn := range snaps {
+		if sn.Step != wantSteps[i] {
+			t.Errorf("snapshot %d at step %d, want %d", i, sn.Step, wantSteps[i])
+		}
+		if sn.Field == nil || len(sn.Field.Rho) != n || len(sn.Field.Ux) != n {
+			t.Fatalf("snapshot %d misses full-domain fields", i)
+		}
+	}
+	// Copies must be independent: distinct publications own distinct
+	// arrays (the solver keeps stepping after the hook returns).
+	if &snaps[0].Field.Rho[0] == &snaps[1].Field.Rho[0] {
+		t.Error("snapshots share a rho buffer; they must be immutable copies")
+	}
+	// The flow is developing, so fields should actually differ between
+	// step 10 and step 30.
+	diff := false
+	for i := range snaps[0].Field.Ux {
+		if snaps[0].Field.Ux[i] != snaps[2].Field.Ux[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("snapshot fields identical across 20 steps of a developing flow")
+	}
+}
+
+// TestSnapshotFinalPublication: a run whose last step is off-cadence
+// still publishes a final snapshot of the end state.
+func TestSnapshotFinalPublication(t *testing.T) {
+	var steps []int
+	s, err := New(Config{
+		Vessel: geometry.Pipe(16, 3), H: 1, Tau: 0.9,
+		Ranks: 1, VizEvery: 0,
+		SnapshotEvery: 10,
+		OnSnapshot:    func(sn *Snapshot) { steps = append(steps, sn.Step) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Run(45); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 20, 30, 40, 45}
+	if fmt.Sprint(steps) != fmt.Sprint(want) {
+		t.Errorf("snapshot steps %v, want %v", steps, want)
+	}
+}
+
 // TestSteeringReducedData drives the §V data path over the wire: the
 // client asks for a context+detail ROI cover and receives a node
 // stream that covers every fluid site exactly once with less data than

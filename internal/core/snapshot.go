@@ -1,0 +1,36 @@
+package core
+
+import (
+	"repro/internal/field"
+	"repro/internal/lb"
+	"repro/internal/par"
+)
+
+// Snapshot is an immutable copy of the macroscopic fields at one time
+// step, gathered to rank 0 and published through Config.OnSnapshot.
+// The arrays are freshly allocated per snapshot and never written
+// again, so any number of goroutines (render pool workers, stream
+// fan-outs) may read them concurrently while the solver keeps
+// stepping — this is what moves frame production out of the solver
+// loop.
+type Snapshot struct {
+	// Step is the solver step the fields were captured at.
+	Step int
+	// Field carries full-domain rho/ux/uy/uz indexed by global site
+	// id (WSS is not gathered; wall renders need the in situ path).
+	Field *field.Field
+}
+
+// publishSnapshot gathers the global fields (collective — every rank
+// must call it at the same step) and hands rank 0's copy to the
+// OnSnapshot hook.
+func (s *Simulation) publishSnapshot(c *par.Comm, d *lb.Dist) {
+	rho, ux, uy, uz := d.GatherFields(0)
+	if c.Rank() != 0 {
+		return
+	}
+	s.Cfg.OnSnapshot(&Snapshot{
+		Step:  d.StepCount(),
+		Field: &field.Field{Dom: s.Dom, Rho: rho, Ux: ux, Uy: uy, Uz: uz},
+	})
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+// StreamRow is one frame-streaming measurement: a live service job
+// followed by N concurrent SSE subscribers for a fixed window. Because
+// frames render on the pool from published snapshots, the solver's
+// step rate should hold (within noise) as subscribers are added, while
+// frames delivered grows with N at a near-constant render count — the
+// render-offload claim in numbers.
+type StreamRow struct {
+	Subscribers int
+	// StepsPerSec is the solver rate over the measurement window.
+	StepsPerSec float64
+	// FramesDelivered counts SSE frame events across all subscribers;
+	// RendersUsed counts actual renders behind them.
+	FramesDelivered int64
+	RendersUsed     int64
+	// MeanFrameLatency is the render pool's submit→encoded latency.
+	MeanFrameLatency time.Duration
+}
+
+// StreamSweep boots an in-process service, runs one job per subscriber
+// count and measures the window. The windows are short; this is a
+// trend probe, not a microbenchmark.
+func StreamSweep(subCounts []int, window time.Duration) ([]StreamRow, error) {
+	if len(subCounts) == 0 {
+		subCounts = []int{0, 1, 2, 4}
+	}
+	if window <= 0 {
+		window = 1500 * time.Millisecond
+	}
+	rows := make([]StreamRow, 0, len(subCounts))
+	for _, n := range subCounts {
+		row, err := streamPoint(n, window)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func streamPoint(subscribers int, window time.Duration) (StreamRow, error) {
+	metrics := &service.Metrics{}
+	mgr := service.NewManagerOpts(service.Options{Workers: 1, QueueCap: 2, Metrics: metrics})
+	srv := service.NewServer(mgr)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return StreamRow{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	base := "http://" + srv.Addr()
+
+	j, err := mgr.Submit(service.JobSpec{
+		Preset: "pipe", Steps: 50_000_000, VizEvery: -1, SnapshotEvery: 8,
+	})
+	if err != nil {
+		return StreamRow{}, err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for j.State() != service.StateRunning || j.Step() == 0 {
+		if time.Now().After(deadline) {
+			return StreamRow{}, fmt.Errorf("experiments: job never ran")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	stop := make(chan struct{})
+	for i := 0; i < subscribers; i++ {
+		go consumeStream(base+"/api/v1/jobs/"+j.ID+"/stream?w=96&h=72", stop)
+	}
+	// Let subscriptions establish, then measure a clean window.
+	time.Sleep(150 * time.Millisecond)
+	startStep := j.Step()
+	startFrames := metrics.FramesStreamed.Load()
+	startRenders := metrics.RendersTotal.Load()
+	t0 := time.Now()
+	time.Sleep(window)
+	elapsed := time.Since(t0)
+	row := StreamRow{
+		Subscribers:     subscribers,
+		StepsPerSec:     float64(j.Step()-startStep) / elapsed.Seconds(),
+		FramesDelivered: metrics.FramesStreamed.Load() - startFrames,
+		RendersUsed:     metrics.RendersTotal.Load() - startRenders,
+	}
+	if c := metrics.FrameLatencyCount.Load(); c > 0 {
+		row.MeanFrameLatency = time.Duration(metrics.FrameLatencyNs.Load() / c)
+	}
+	close(stop)
+	return row, nil
+}
+
+// consumeStream reads an SSE feed until stop closes, discarding data.
+func consumeStream(url string, stop <-chan struct{}) {
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		return
+	}
+	rep, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return
+	}
+	go func() {
+		<-stop
+		rep.Body.Close()
+	}()
+	sc := bufio.NewScanner(rep.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+	}
+}
+
+// FormatStream renders the sweep as an aligned table.
+func FormatStream(rows []StreamRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s  %12s  %8s  %8s  %14s\n",
+		"subs", "steps/sec", "frames", "renders", "frame latency")
+	for _, r := range rows {
+		lat := "-"
+		if r.MeanFrameLatency > 0 {
+			lat = r.MeanFrameLatency.Round(10 * time.Microsecond).String()
+		}
+		fmt.Fprintf(&b, "%6d  %12.0f  %8d  %8d  %14s\n",
+			r.Subscribers, r.StepsPerSec, r.FramesDelivered, r.RendersUsed, lat)
+	}
+	return b.String()
+}

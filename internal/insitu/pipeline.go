@@ -170,36 +170,17 @@ func (p *Pipeline) Run(req Request) (*Result, error) {
 	return res, nil
 }
 
-func (p *Pipeline) camera(req Request) *vec.Camera {
-	dims := p.solver.Dom.Dims
-	center := vec.New(float64(dims.X)/2, float64(dims.Y)/2, float64(dims.Z)/2)
-	radius := float64(dims.Z) * req.DistFactor
-	if radius == 0 {
-		radius = 40
-	}
-	return vec.Orbit(center, radius, req.Azimuth, req.Elevation, 40, float64(req.W)/float64(req.H))
-}
-
 func (p *Pipeline) render(req Request) (*render.Image, error) {
-	cam := p.camera(req)
-	maxS := p.f.MaxScalar(req.Scalar)
-	if maxS == 0 {
-		maxS = 1e-6
-	}
-	tf := render.BlueRed(0, maxS)
-	switch req.Mode {
-	case ModeVolume:
-		return viz.RenderVolume(p.f, viz.VolumeOptions{
-			W: req.W, H: req.H, Camera: cam, TF: tf, Scalar: req.Scalar,
-		})
-	case ModeStreamlines:
-		seeds := viz.SeedsAcrossInlet(p.solver.Dom, max(req.NumSeeds, 1))
-		lines, err := viz.TraceStreamlines(p.f, viz.LineOptions{Seeds: seeds, MaxSteps: 600, Dt: 0.5})
-		if err != nil {
-			return nil, err
+	// ModeParticles is the one algorithm needing state across passes
+	// (the tracer); everything else goes through the shared snapshot
+	// render path.
+	if req.Mode == ModeParticles {
+		cam := CameraFor(p.solver.Dom.Dims, req)
+		maxS := p.f.MaxScalar(req.Scalar)
+		if maxS == 0 {
+			maxS = 1e-6
 		}
-		return viz.RenderLines(lines, cam, req.W, req.H, tf)
-	case ModeParticles:
+		tf := render.BlueRed(0, maxS)
 		if p.tracer == nil {
 			seeds := viz.SeedsAcrossInlet(p.solver.Dom, max(req.NumSeeds, 1))
 			p.tracer = viz.NewTracer(seeds, 4)
@@ -209,23 +190,9 @@ func (p *Pipeline) render(req Request) (*render.Image, error) {
 		}
 		lines := p.tracer.Pathlines()
 		streaks := p.tracer.Streaklines()
-		img, err := viz.RenderLines(append(lines, streaks...), cam, req.W, req.H, tf)
-		if err != nil {
-			return nil, err
-		}
-		return img, nil
-	case ModeLIC:
-		return viz.LIC(p.f, viz.AxialSlice(p.solver.Dom.Dims), viz.LICOptions{W: req.W, H: req.H})
-	case ModeWall:
-		wmax := p.f.MaxScalar(field.ScalarWSS)
-		if wmax == 0 {
-			wmax = 1e-9
-		}
-		return viz.RenderWallWSS(p.f, viz.WallOptions{
-			W: req.W, H: req.H, Camera: cam, TF: render.BlueRed(0, wmax),
-		})
+		return viz.RenderLines(append(lines, streaks...), cam, req.W, req.H, tf)
 	}
-	return nil, fmt.Errorf("insitu: unknown mode %v", req.Mode)
+	return RenderField(p.f, req)
 }
 
 func max(a, b int) int {

@@ -1,0 +1,69 @@
+package insitu
+
+import (
+	"fmt"
+
+	"repro/internal/field"
+	"repro/internal/render"
+	"repro/internal/vec"
+	"repro/internal/viz"
+)
+
+// CameraFor builds the orbit camera a request implies over a domain of
+// the field's dimensions; shared by the pipeline and snapshot renders
+// so a view keyed by request parameters is identical on both paths.
+func CameraFor(dims vec.I3, req Request) *vec.Camera {
+	center := vec.New(float64(dims.X)/2, float64(dims.Y)/2, float64(dims.Z)/2)
+	radius := float64(dims.Z) * req.DistFactor
+	if radius == 0 {
+		radius = 40
+	}
+	return vec.Orbit(center, radius, req.Azimuth, req.Elevation, 40, float64(req.W)/float64(req.H))
+}
+
+// RenderField renders a request against a standalone field snapshot —
+// the render-offload entry point. Unlike Pipeline.Run it holds no
+// solver reference and no mutable state, so any goroutine (a render
+// pool worker, a test) can call it concurrently on an immutable
+// snapshot long after the solver has moved on. ModeParticles needs the
+// pipeline's stateful tracer and is rejected here.
+func RenderField(f *field.Field, req Request) (*render.Image, error) {
+	if f == nil || f.Dom == nil {
+		return nil, fmt.Errorf("insitu: nil field snapshot")
+	}
+	if req.W <= 0 || req.H <= 0 {
+		return nil, fmt.Errorf("insitu: image size %dx%d", req.W, req.H)
+	}
+	cam := CameraFor(f.Dom.Dims, req)
+	maxS := f.MaxScalar(req.Scalar)
+	if maxS == 0 {
+		maxS = 1e-6
+	}
+	tf := render.BlueRed(0, maxS)
+	switch req.Mode {
+	case ModeVolume:
+		return viz.RenderVolume(f, viz.VolumeOptions{
+			W: req.W, H: req.H, Camera: cam, TF: tf, Scalar: req.Scalar,
+		})
+	case ModeStreamlines:
+		seeds := viz.SeedsAcrossInlet(f.Dom, max(req.NumSeeds, 1))
+		lines, err := viz.TraceStreamlines(f, viz.LineOptions{Seeds: seeds, MaxSteps: 600, Dt: 0.5})
+		if err != nil {
+			return nil, err
+		}
+		return viz.RenderLines(lines, cam, req.W, req.H, tf)
+	case ModeLIC:
+		return viz.LIC(f, viz.AxialSlice(f.Dom.Dims), viz.LICOptions{W: req.W, H: req.H})
+	case ModeWall:
+		wmax := f.MaxScalar(field.ScalarWSS)
+		if wmax == 0 {
+			wmax = 1e-9
+		}
+		return viz.RenderWallWSS(f, viz.WallOptions{
+			W: req.W, H: req.H, Camera: cam, TF: render.BlueRed(0, wmax),
+		})
+	case ModeParticles:
+		return nil, fmt.Errorf("insitu: particle mode needs a stateful pipeline, not a snapshot render")
+	}
+	return nil, fmt.Errorf("insitu: unknown mode %v", req.Mode)
+}

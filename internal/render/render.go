@@ -8,6 +8,7 @@ package render
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"image"
 	"image/color"
@@ -210,6 +211,16 @@ func (im *Image) EncodePNG(w io.Writer) error {
 		}
 	}
 	return png.Encode(w, out)
+}
+
+// EncodePNGBytes encodes the image to an in-memory PNG — the frame
+// format every service consumer (poll, stream, render pool) shares.
+func EncodePNGBytes(im *Image) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := im.EncodePNG(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // CoveredFraction returns the share of pixels with non-negligible

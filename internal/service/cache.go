@@ -1,38 +1,46 @@
 package service
 
 import (
+	"container/list"
 	"fmt"
-
 	"sync"
 
 	"repro/internal/insitu"
 )
 
-// maxCacheEntries bounds the cache; past it, stale entries are purged
-// wholesale (frames are cheap to regenerate, bookkeeping is not).
-const maxCacheEntries = 512
+// defaultCacheEntries bounds the cache when no capacity is configured.
+const defaultCacheEntries = 512
 
-// FrameCache shares rendered frames between clients: N pollers asking
-// for the same (job, view) pay for one render. Entries are valid for
-// exactly one solver step — a paused or finished job therefore serves
-// every poller from cache, while a running job still collapses
-// concurrent identical requests through single-flight.
+// FrameCache shares rendered frames between clients: N consumers
+// asking for the same (job, view, step) pay for one render. Entries
+// are valid for exactly one solver step — a paused or finished job
+// therefore serves every consumer from cache, while a running job
+// still collapses concurrent identical requests through single-flight.
+// Eviction is LRU with per-job invalidation: a job reaching a terminal
+// state drops all its entries at once instead of the old wholesale
+// purge that threw away every tenant's frames.
 type FrameCache struct {
 	metrics *Metrics
+	cap     int
 
 	mu      sync.Mutex
-	entries map[string]frameEntry
+	entries map[string]*list.Element // key → element whose Value is *frameEntry
+	lru     *list.List               // front = most recently used
+	byJob   map[string]map[string]struct{}
 	flights map[string]*flight
 }
 
 type frameEntry struct {
-	png  []byte
-	w, h int
-	step int
+	key   string
+	jobID string
+	png   []byte
+	w, h  int
+	step  int
 }
 
-// flight is one in-progress render; latecomers wait on done instead of
-// rendering again.
+// flight is one in-progress render, keyed by (view key, step);
+// latecomers for the same step wait on done instead of rendering
+// again.
 type flight struct {
 	done chan struct{}
 	png  []byte
@@ -40,28 +48,40 @@ type flight struct {
 	err  error
 }
 
-// NewFrameCache returns an empty cache reporting into metrics.
-func NewFrameCache(metrics *Metrics) *FrameCache {
+// NewFrameCache returns an empty cache of the given capacity (<= 0
+// falls back to the default) reporting into metrics.
+func NewFrameCache(metrics *Metrics, capacity int) *FrameCache {
 	if metrics == nil {
 		metrics = &Metrics{}
 	}
+	if capacity <= 0 {
+		capacity = defaultCacheEntries
+	}
 	return &FrameCache{
 		metrics: metrics,
-		entries: make(map[string]frameEntry),
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+		byJob:   make(map[string]map[string]struct{}),
 		flights: make(map[string]*flight),
 	}
 }
 
 // Get returns the cached frame for key at the given solver step, or
 // renders it exactly once no matter how many goroutines ask.
-func (c *FrameCache) Get(key string, step int, render func() ([]byte, int, int, error)) ([]byte, int, int, error) {
+func (c *FrameCache) Get(jobID, key string, step int, render func() ([]byte, int, int, error)) ([]byte, int, int, error) {
+	flightKey := fmt.Sprintf("%s@%d", key, step)
 	c.mu.Lock()
-	if e, ok := c.entries[key]; ok && e.step == step {
-		c.mu.Unlock()
-		c.metrics.FrameCacheHits.Add(1)
-		return e.png, e.w, e.h, nil
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*frameEntry)
+		if e.step == step {
+			c.lru.MoveToFront(el)
+			c.mu.Unlock()
+			c.metrics.FrameCacheHits.Add(1)
+			return e.png, e.w, e.h, nil
+		}
 	}
-	if f, ok := c.flights[key]; ok {
+	if f, ok := c.flights[flightKey]; ok {
 		c.mu.Unlock()
 		<-f.done
 		if f.err != nil {
@@ -73,23 +93,88 @@ func (c *FrameCache) Get(key string, step int, render func() ([]byte, int, int, 
 		return f.png, f.w, f.h, nil
 	}
 	f := &flight{done: make(chan struct{})}
-	c.flights[key] = f
+	c.flights[flightKey] = f
 	c.mu.Unlock()
 	c.metrics.FrameCacheMiss.Add(1)
 
 	f.png, f.w, f.h, f.err = render()
 
 	c.mu.Lock()
-	delete(c.flights, key)
+	delete(c.flights, flightKey)
 	if f.err == nil {
-		if len(c.entries) >= maxCacheEntries {
-			c.entries = make(map[string]frameEntry)
-		}
-		c.entries[key] = frameEntry{png: f.png, w: f.w, h: f.h, step: step}
+		c.store(&frameEntry{key: key, jobID: jobID, png: f.png, w: f.w, h: f.h, step: step})
 	}
 	c.mu.Unlock()
 	close(f.done)
 	return f.png, f.w, f.h, f.err
+}
+
+// store inserts or refreshes an entry and evicts the LRU tail past
+// capacity. Caller holds c.mu.
+func (c *FrameCache) store(e *frameEntry) {
+	if el, ok := c.entries[e.key]; ok {
+		// A slow flight for an old step can complete after a newer
+		// frame was cached; never let it regress the view.
+		if el.Value.(*frameEntry).step > e.step {
+			return
+		}
+		el.Value = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.cap {
+		c.evictOldest()
+	}
+	c.entries[e.key] = c.lru.PushFront(e)
+	keys := c.byJob[e.jobID]
+	if keys == nil {
+		keys = make(map[string]struct{})
+		c.byJob[e.jobID] = keys
+	}
+	keys[e.key] = struct{}{}
+}
+
+// evictOldest removes the least recently used entry. Caller holds c.mu.
+func (c *FrameCache) evictOldest() {
+	el := c.lru.Back()
+	if el == nil {
+		return
+	}
+	c.removeElement(el)
+	c.metrics.FrameCacheEvict.Add(1)
+}
+
+func (c *FrameCache) removeElement(el *list.Element) {
+	e := el.Value.(*frameEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	if keys := c.byJob[e.jobID]; keys != nil {
+		delete(keys, e.key)
+		if len(keys) == 0 {
+			delete(c.byJob, e.jobID)
+		}
+	}
+}
+
+// InvalidateJob drops every cached frame belonging to one job — called
+// when the job reaches a terminal state so a dead tenant's views stop
+// occupying capacity. Returns the number of entries dropped.
+func (c *FrameCache) InvalidateJob(jobID string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := c.byJob[jobID]
+	n := 0
+	for key := range keys {
+		if el, ok := c.entries[key]; ok {
+			c.removeElement(el)
+			n++
+		}
+	}
+	delete(c.byJob, jobID)
+	if n > 0 {
+		c.metrics.FrameCacheDrops.Add(int64(n))
+	}
+	return n
 }
 
 // Len reports the number of cached frames (for tests).
@@ -97,6 +182,18 @@ func (c *FrameCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// Keys returns the cached keys from most to least recently used (for
+// tests asserting eviction order).
+func (c *FrameCache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*frameEntry).key)
+	}
+	return keys
 }
 
 // frameKey canonicalises a render request per job; every parameter the
@@ -107,17 +204,4 @@ func frameKey(jobID string, req insitu.Request) string {
 		req.Azimuth, req.Elevation, req.DistFactor,
 		req.ROI.Min, req.ROI.Max, req.DetailLevel, req.ContextLevel,
 		req.NumSeeds)
-}
-
-// Frame is the cached render entry point used by the HTTP layer: it
-// keys on (job, request) and on the job's current step so a view stays
-// fresh while the solver advances.
-func (m *Manager) Frame(j *Job, req insitu.Request, cache *FrameCache) ([]byte, int, int, error) {
-	if st := j.State(); st == StateQueued {
-		return nil, 0, 0, ErrNotRunning
-	}
-	step := j.Step()
-	return cache.Get(frameKey(j.ID, req), step, func() ([]byte, int, int, error) {
-		return m.renderFrame(j, req)
-	})
 }

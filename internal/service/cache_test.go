@@ -1,0 +1,98 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+// put inserts one ready-made entry through the public Get path.
+func put(t *testing.T, c *FrameCache, jobID, key string, step int) {
+	t.Helper()
+	_, _, _, err := c.Get(jobID, key, step, func() ([]byte, int, int, error) {
+		return []byte(key), 1, 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheLRUEvictionOrder fills the cache past capacity and checks
+// that the least recently *used* entry goes first — a Get hit must
+// refresh recency, not just insertion order.
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	metrics := &Metrics{}
+	c := NewFrameCache(metrics, 3)
+	put(t, c, "j1", "a", 1)
+	put(t, c, "j1", "b", 1)
+	put(t, c, "j1", "c", 1)
+	// Touch "a": it becomes most recent; "b" is now the LRU tail.
+	put(t, c, "j1", "a", 1)
+	// A fourth entry must evict "b", not "a".
+	put(t, c, "j2", "d", 1)
+	if c.Len() != 3 {
+		t.Fatalf("cache len %d, want 3", c.Len())
+	}
+	want := []string{"d", "a", "c"}
+	got := c.Keys()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("recency order %v, want %v", got, want)
+	}
+	if metrics.FrameCacheEvict.Load() != 1 {
+		t.Errorf("evictions = %d, want 1", metrics.FrameCacheEvict.Load())
+	}
+	// The evicted key re-renders; the survivors do not.
+	misses := metrics.FrameCacheMiss.Load()
+	put(t, c, "j1", "a", 1)
+	if metrics.FrameCacheMiss.Load() != misses {
+		t.Error("surviving entry 'a' re-rendered")
+	}
+	put(t, c, "j1", "b", 1)
+	if metrics.FrameCacheMiss.Load() != misses+1 {
+		t.Error("evicted entry 'b' served without a render")
+	}
+}
+
+// TestCacheStepRefreshKeepsOneEntryPerView asserts that advancing the
+// step replaces a view's entry in place instead of growing the cache.
+func TestCacheStepRefreshKeepsOneEntryPerView(t *testing.T) {
+	c := NewFrameCache(nil, 4)
+	for step := 1; step <= 10; step++ {
+		put(t, c, "j1", "view", step)
+	}
+	if c.Len() != 1 {
+		t.Errorf("10 steps of one view left %d entries, want 1", c.Len())
+	}
+}
+
+// TestCacheInvalidateJob drops exactly one tenant's frames — the
+// terminal-state hook — leaving other tenants cached.
+func TestCacheInvalidateJob(t *testing.T) {
+	metrics := &Metrics{}
+	c := NewFrameCache(metrics, 8)
+	put(t, c, "j1", "j1|viewA", 1)
+	put(t, c, "j1", "j1|viewB", 1)
+	put(t, c, "j2", "j2|viewA", 1)
+	if n := c.InvalidateJob("j1"); n != 2 {
+		t.Errorf("invalidated %d entries, want 2", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache len %d after invalidation, want 1", c.Len())
+	}
+	// j2 survives as a hit; j1's views re-render.
+	misses := metrics.FrameCacheMiss.Load()
+	put(t, c, "j2", "j2|viewA", 1)
+	if metrics.FrameCacheMiss.Load() != misses {
+		t.Error("other tenant's entry was dropped too")
+	}
+	put(t, c, "j1", "j1|viewA", 1)
+	if metrics.FrameCacheMiss.Load() != misses+1 {
+		t.Error("invalidated entry served from cache")
+	}
+	if metrics.FrameCacheDrops.Load() != 2 {
+		t.Errorf("invalidation metric = %d, want 2", metrics.FrameCacheDrops.Load())
+	}
+	// Invalidating an unknown job is a no-op.
+	if n := c.InvalidateJob("ghost"); n != 0 {
+		t.Errorf("ghost job invalidated %d entries", n)
+	}
+}

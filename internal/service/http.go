@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/field"
@@ -25,11 +26,15 @@ type Server struct {
 	cache *FrameCache
 	http  *http.Server
 	ln    net.Listener
+	// closing tells long-lived handlers (SSE streams) to wind down so
+	// graceful shutdown is not held hostage by infinite responses.
+	closing   chan struct{}
+	closeOnce sync.Once
 }
 
-// NewServer wires the API over a manager with a fresh frame cache.
+// NewServer wires the API over a manager, sharing its frame cache.
 func NewServer(mgr *Manager) *Server {
-	s := &Server{mgr: mgr, cache: NewFrameCache(mgr.Metrics())}
+	s := &Server{mgr: mgr, cache: mgr.Cache(), closing: make(chan struct{})}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
@@ -41,6 +46,7 @@ func NewServer(mgr *Manager) *Server {
 	mux.HandleFunc("POST /api/v1/jobs/{id}/steer", s.handleSteer)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/status", s.handleStatus)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/frame", s.handleFrame)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/data", s.handleData)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -77,9 +83,10 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Shutdown drains HTTP connections, then cancels every live job and
-// waits for the worker pool — the graceful stop.
+// Shutdown ends live streams, drains HTTP connections, then cancels
+// every live job and waits for the worker pool — the graceful stop.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeOnce.Do(func() { close(s.closing) })
 	err := s.http.Shutdown(ctx)
 	s.mgr.Close()
 	return err
@@ -96,10 +103,10 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrQueueFull):
 		code = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", "1")
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrResumeAborted):
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrNotRunning), errors.Is(err, ErrFinished),
-		errors.Is(err, steering.ErrClosed):
+		errors.Is(err, ErrNoStream), errors.Is(err, steering.ErrClosed):
 		// steering.ErrClosed surfaces when a job reaches a terminal
 		// state between the handler's state check and the op — the
 		// request was fine, the job is just gone.
@@ -180,7 +187,21 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.mgr.Resume(j); err != nil {
+	// Resume may wait for a worker slot; abort the wait if the client
+	// goes away or the server starts draining, so a full pool cannot
+	// strand handler goroutines.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-s.closing:
+			cancel()
+		case <-stop:
+		}
+	}()
+	if err := s.mgr.Resume(ctx, j); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -227,7 +248,7 @@ func (s *Server) handleFrame(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	png, imgW, imgH, err := s.mgr.Frame(j, req, s.cache)
+	png, imgW, imgH, err := s.mgr.Frame(j, req)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -1,7 +1,7 @@
 package service
 
 import (
-	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/insitu"
+	"repro/internal/render"
 	"repro/internal/steering"
 )
 
@@ -38,6 +39,12 @@ var (
 	ErrNotFound   = fmt.Errorf("service: no such job")
 	ErrNotRunning = fmt.Errorf("service: job is not running")
 	ErrFinished   = fmt.Errorf("service: job already finished")
+	// ErrNoStream marks jobs that were submitted with snapshots
+	// disabled and therefore cannot feed the push stream.
+	ErrNoStream = fmt.Errorf("service: snapshots disabled for this job; no stream available")
+	// ErrResumeAborted reports a Resume whose wait for a free worker
+	// slot was cut short by the caller's context.
+	ErrResumeAborted = fmt.Errorf("service: resume aborted")
 	// ErrInternal marks server-side failures (a render or reply that
 	// went wrong) as distinct from bad requests.
 	ErrInternal = fmt.Errorf("service: internal error")
@@ -64,6 +71,25 @@ type Job struct {
 	// cancelRequested marks a quit issued by Cancel so the final state
 	// is cancelled, not done.
 	cancelRequested bool
+	// lifecycle serialises Pause/Resume per job: their op round-trip
+	// and state+slot update must be atomic against each other, or an
+	// interleaved pair could record state=running for a solver that a
+	// later-replied pause actually parked.
+	lifecycle sync.Mutex
+	// holdsSlot tracks whether this job currently occupies one of the
+	// manager's concurrency slots. Pausing releases the slot (the run
+	// goroutine parks in PollWait, costing nothing); resuming takes
+	// one again. Guarded by mu; the actual channel send/receive
+	// happens outside the lock.
+	holdsSlot bool
+
+	// Snapshot box: the latest immutable field snapshot plus a
+	// broadcast channel that closes whenever a new one lands (or the
+	// job terminates), so stream subscribers wait without polling.
+	snapMu     sync.Mutex
+	snap       *core.Snapshot
+	snapCh     chan struct{}
+	snapSealed bool
 }
 
 // JobInfo is the JSON snapshot served by list/get.
@@ -117,47 +143,137 @@ func (j *Job) State() JobState {
 // Step returns the last step the solver reported.
 func (j *Job) Step() int { return int(j.step.Load()) }
 
-// Manager owns the bounded submission queue and the worker pool that
-// drains it, one core.Simulation per worker at a time.
+// publishSnapshot installs a new snapshot and wakes every waiter. It
+// runs on the solver's critical path (the core OnSnapshot hook), so it
+// only swaps a pointer and rotates a channel.
+func (j *Job) publishSnapshot(s *core.Snapshot) {
+	j.snapMu.Lock()
+	if j.snapSealed {
+		j.snapMu.Unlock()
+		return
+	}
+	j.snap = s
+	old := j.snapCh
+	j.snapCh = make(chan struct{})
+	j.snapMu.Unlock()
+	close(old)
+}
+
+// sealSnapshots wakes all waiters one final time without rotating the
+// channel — after this, LatestSnapshot's channel reads as closed
+// forever, and callers distinguish "job over" via State().Terminal().
+func (j *Job) sealSnapshots() {
+	j.snapMu.Lock()
+	if !j.snapSealed {
+		j.snapSealed = true
+		close(j.snapCh)
+	}
+	j.snapMu.Unlock()
+}
+
+// LatestSnapshot returns the newest published snapshot (nil before the
+// first one) and a channel that closes when a newer snapshot arrives
+// or the job reaches a terminal state.
+func (j *Job) LatestSnapshot() (*core.Snapshot, <-chan struct{}) {
+	j.snapMu.Lock()
+	defer j.snapMu.Unlock()
+	return j.snap, j.snapCh
+}
+
+// Options configures a Manager beyond the worker/queue pair.
+type Options struct {
+	// Workers bounds how many simulations step concurrently (paused
+	// jobs don't count); QueueCap bounds accepted-but-not-started
+	// submissions. Zero values fall back to 2 / 16.
+	Workers  int
+	QueueCap int
+	// RenderWorkers / RenderQueue size the render pool (defaults:
+	// Workers and 4×RenderWorkers).
+	RenderWorkers int
+	RenderQueue   int
+	// CacheEntries caps the LRU frame cache (default 512).
+	CacheEntries int
+	Metrics      *Metrics
+}
+
+// Manager owns the bounded submission queue, the concurrency slots the
+// dispatcher hands jobs, and the render offload pair (pool + frame
+// cache) every transport shares.
 type Manager struct {
 	metrics *Metrics
 	queue   chan *Job
+	// slots is the semaphore of concurrently *stepping* jobs: the
+	// dispatcher takes a token before starting a run, Pause returns
+	// it, Resume takes one again. A paused job therefore costs a
+	// parked goroutine, not a pool slot — W paused jobs no longer
+	// stall the whole service.
+	slots chan struct{}
+	cache *FrameCache
+	pool  *RenderPool
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	order  []string
 	nextID int64
 	closed bool
+	// queuedLen counts jobs submitted but not yet granted a slot. The
+	// dispatcher holds a popped job while waiting for a slot, so
+	// channel occupancy alone would understate the backlog by one.
+	queuedLen int
+
+	// hubsMu guards the live stream fan-out hubs, keyed by view.
+	hubsMu sync.Mutex
+	hubs   map[string]*viewHub
 
 	wg sync.WaitGroup
 }
 
-// NewManager starts workers goroutines over a queue of capacity
-// queueCap. Zero values fall back to 2 workers / 16 slots.
+// NewManager starts a manager with workers concurrency slots over a
+// queue of capacity queueCap; render pool and cache take defaults.
 func NewManager(workers, queueCap int, metrics *Metrics) *Manager {
-	if workers <= 0 {
-		workers = 2
+	return NewManagerOpts(Options{Workers: workers, QueueCap: queueCap, Metrics: metrics})
+}
+
+// NewManagerOpts starts a manager with explicit sizing for the solver
+// slots, render pool and frame cache.
+func NewManagerOpts(o Options) *Manager {
+	if o.Workers <= 0 {
+		o.Workers = 2
 	}
-	if queueCap <= 0 {
-		queueCap = 16
+	if o.QueueCap <= 0 {
+		o.QueueCap = 16
 	}
-	if metrics == nil {
-		metrics = &Metrics{}
+	if o.RenderWorkers <= 0 {
+		o.RenderWorkers = o.Workers
+	}
+	if o.RenderQueue <= 0 {
+		o.RenderQueue = 4 * o.RenderWorkers
+	}
+	if o.Metrics == nil {
+		o.Metrics = &Metrics{}
 	}
 	m := &Manager{
-		metrics: metrics,
-		queue:   make(chan *Job, queueCap),
+		metrics: o.Metrics,
+		queue:   make(chan *Job, o.QueueCap),
+		slots:   make(chan struct{}, o.Workers),
+		cache:   NewFrameCache(o.Metrics, o.CacheEntries),
+		pool:    NewRenderPool(o.RenderWorkers, o.RenderQueue, o.Metrics),
 		jobs:    make(map[string]*Job),
+		hubs:    make(map[string]*viewHub),
 	}
-	for i := 0; i < workers; i++ {
-		m.wg.Add(1)
-		go m.worker()
+	for i := 0; i < o.Workers; i++ {
+		m.slots <- struct{}{}
 	}
+	m.wg.Add(1)
+	go m.dispatch()
 	return m
 }
 
 // Metrics exposes the counter set shared with the HTTP layer.
 func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// Cache exposes the shared frame cache.
+func (m *Manager) Cache() *FrameCache { return m.cache }
 
 // Submit validates a spec and enqueues the job, failing fast when the
 // queue is full — backpressure instead of unbounded memory.
@@ -180,15 +296,17 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		ctrl:    steering.NewController(),
 		state:   StateQueued,
 		created: time.Now(),
+		snapCh:  make(chan struct{}),
 	}
-	select {
-	case m.queue <- j:
-	default:
+	if m.queuedLen >= cap(m.queue) {
 		m.nextID--
 		m.mu.Unlock()
 		m.metrics.JobsRejected.Add(1)
 		return nil, ErrQueueFull
 	}
+	// queuedLen < cap implies channel occupancy < cap: never blocks.
+	m.queue <- j
+	m.queuedLen++
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
 	m.mu.Unlock()
@@ -223,19 +341,46 @@ func (m *Manager) List() []JobInfo {
 	return infos
 }
 
-func (m *Manager) worker() {
+// dispatch drains the submission queue: one slot per stepping job,
+// one goroutine per run. Unlike the old fixed worker loop, the
+// goroutine is per-job, so a paused job can hand its slot back without
+// giving up its (parked) run loop.
+func (m *Manager) dispatch() {
 	defer m.wg.Done()
 	for j := range m.queue {
-		m.run(j)
+		<-m.slots
+		m.mu.Lock()
+		m.queuedLen--
+		m.mu.Unlock()
+		j.mu.Lock()
+		j.holdsSlot = true
+		j.mu.Unlock()
+		m.wg.Add(1)
+		go m.run(j)
+	}
+}
+
+// releaseJobSlot returns the job's concurrency slot to the pool, at
+// most once per grant (holdsSlot is the idempotency latch).
+func (m *Manager) releaseJobSlot(j *Job) {
+	j.mu.Lock()
+	held := j.holdsSlot
+	j.holdsSlot = false
+	j.mu.Unlock()
+	if held {
+		m.slots <- struct{}{}
 	}
 }
 
 // run executes one job to a terminal state.
 func (m *Manager) run(j *Job) {
+	defer m.wg.Done()
+	defer m.releaseJobSlot(j)
 	j.mu.Lock()
 	if j.state != StateQueued { // cancelled while queued
 		j.mu.Unlock()
 		j.ctrl.Close()
+		j.sealSnapshots()
 		return
 	}
 	j.state = StateRunning
@@ -249,6 +394,10 @@ func (m *Manager) run(j *Job) {
 	}
 	cfg.Controller = j.ctrl
 	cfg.OnStep = func(step, total int) { j.step.Store(int64(step)) }
+	cfg.OnSnapshot = func(s *core.Snapshot) {
+		m.metrics.SnapshotsTotal.Add(1)
+		j.publishSnapshot(s)
+	}
 	sim, err := core.New(cfg)
 	if err != nil {
 		m.finish(j, err, false)
@@ -262,10 +411,11 @@ func (m *Manager) run(j *Job) {
 	m.finish(j, runErr, sim.StepsDone >= j.Spec.Steps)
 }
 
-// finish moves a job to its terminal state and closes its controller
-// so late Do calls fail instead of blocking forever. A run that
-// executed every requested step counts as done even when a cancel
-// raced its completion — the work happened.
+// finish moves a job to its terminal state, closes its controller so
+// late Do calls fail instead of blocking forever, drops its cached
+// frames and wakes stream subscribers for their end-of-stream check. A
+// run that executed every requested step counts as done even when a
+// cancel raced its completion — the work happened.
 func (m *Manager) finish(j *Job, runErr error, completed bool) {
 	j.ctrl.Close()
 	j.mu.Lock()
@@ -283,6 +433,10 @@ func (m *Manager) finish(j *Job, runErr error, completed bool) {
 		m.metrics.JobsDone.Add(1)
 	}
 	j.mu.Unlock()
+	m.cache.InvalidateJob(j.ID)
+	// Seal after the terminal state is visible: a subscriber woken by
+	// the seal must observe Terminal() and end its stream.
+	j.sealSnapshots()
 }
 
 // do round-trips a steering op against a live job.
@@ -297,30 +451,62 @@ func (m *Manager) do(j *Job, msg steering.ClientMsg) (steering.ServerMsg, error)
 	return j.ctrl.Do(msg)
 }
 
-// Pause suspends time stepping; the job keeps servicing steering.
+// Pause suspends time stepping and hands the job's concurrency slot
+// back to the pool: the run goroutine parks in the controller's
+// PollWait while another queued job takes the slot. The job keeps
+// servicing steering.
 func (m *Manager) Pause(j *Job) error {
+	j.lifecycle.Lock()
+	defer j.lifecycle.Unlock()
 	if _, err := m.do(j, steering.ClientMsg{Op: steering.OpPause}); err != nil {
 		return err
 	}
+	freeSlot := false
 	j.mu.Lock()
 	if j.state == StateRunning {
 		j.state = StatePaused
 	}
+	freeSlot = j.state == StatePaused
 	j.mu.Unlock()
+	if freeSlot {
+		m.releaseJobSlot(j)
+	}
 	return nil
 }
 
-// Resume continues a paused job.
-func (m *Manager) Resume(j *Job) error {
-	if _, err := m.do(j, steering.ClientMsg{Op: steering.OpResume}); err != nil {
-		return err
-	}
+// Resume continues a paused job, re-admitting it through the slot
+// pool: with every slot busy, Resume blocks until one frees — paused
+// time is queue time, not stolen concurrency. The wait aborts when ctx
+// ends (client gone, server draining), so a full pool cannot strand
+// handler goroutines.
+func (m *Manager) Resume(ctx context.Context, j *Job) error {
+	j.lifecycle.Lock()
+	defer j.lifecycle.Unlock()
 	j.mu.Lock()
-	if j.state == StatePaused {
+	needSlot := j.state == StatePaused && !j.holdsSlot
+	j.mu.Unlock()
+	if needSlot {
+		select {
+		case <-m.slots:
+		case <-ctx.Done():
+			return fmt.Errorf("%w: gave up waiting for a worker slot", ErrResumeAborted)
+		}
+	}
+	_, err := m.do(j, steering.ClientMsg{Op: steering.OpResume})
+	granted := false
+	j.mu.Lock()
+	if err == nil && j.state == StatePaused {
 		j.state = StateRunning
 	}
+	if needSlot && err == nil && j.state == StateRunning && !j.holdsSlot {
+		j.holdsSlot = true
+		granted = true
+	}
 	j.mu.Unlock()
-	return nil
+	if needSlot && !granted {
+		m.slots <- struct{}{}
+	}
+	return err
 }
 
 // Cancel terminates a job in any non-terminal state.
@@ -331,12 +517,14 @@ func (m *Manager) Cancel(j *Job) error {
 		j.mu.Unlock()
 		return ErrFinished
 	case j.state == StateQueued:
-		// The worker will observe the state and skip the run.
+		// The dispatcher will observe the state and skip the run.
 		j.state = StateCancelled
 		j.finished = time.Now()
 		j.mu.Unlock()
 		m.metrics.JobsCancelled.Add(1)
 		j.ctrl.Close()
+		j.sealSnapshots()
+		m.cache.InvalidateJob(j.ID)
 		return nil
 	default:
 		j.cancelRequested = true
@@ -387,8 +575,37 @@ func (m *Manager) Data(j *Job, roiMin, roiMax [3]float64, detail, context int) (
 	return rep.Nodes, nil
 }
 
-// renderFrame produces a PNG for the request against a live job, or
-// serves the final in situ frame of a finished one.
+// Frame produces the current frame for a request through the shared
+// cache. Jobs with snapshots render on the pool, outside the solver
+// loop — that path also works while paused and after termination,
+// straight from the last published snapshot. Jobs without snapshots
+// fall back to the legacy in-loop steering render.
+func (m *Manager) Frame(j *Job, req insitu.Request) ([]byte, int, int, error) {
+	if st := j.State(); st == StateQueued {
+		return nil, 0, 0, ErrNotRunning
+	}
+	if snap, _ := j.LatestSnapshot(); snap != nil {
+		return m.frameFromSnapshot(j, snap, req)
+	}
+	step := j.Step()
+	return m.cache.Get(j.ID, frameKey(j.ID, req), step, func() ([]byte, int, int, error) {
+		return m.renderFrame(j, req)
+	})
+}
+
+// frameFromSnapshot renders one (view, step) through cache
+// single-flight and the render pool: N concurrent consumers of the
+// same view pay for exactly one render, executed off the solver loop.
+func (m *Manager) frameFromSnapshot(j *Job, snap *core.Snapshot, req insitu.Request) ([]byte, int, int, error) {
+	return m.cache.Get(j.ID, frameKey(j.ID, req), snap.Step, func() ([]byte, int, int, error) {
+		m.metrics.RendersTotal.Add(1)
+		return m.pool.Render(snap, req)
+	})
+}
+
+// renderFrame is the legacy render path inside the solver loop (a
+// steering OpImage round trip), kept for jobs that disabled snapshots;
+// for a finished one it serves the final in situ frame.
 func (m *Manager) renderFrame(j *Job, req insitu.Request) ([]byte, int, int, error) {
 	m.metrics.RendersTotal.Add(1)
 	st := j.State()
@@ -399,11 +616,11 @@ func (m *Manager) renderFrame(j *Job, req insitu.Request) ([]byte, int, int, err
 		if sim == nil || sim.LastImage == nil {
 			return nil, 0, 0, fmt.Errorf("%w: no frame recorded for finished job", ErrFinished)
 		}
-		var buf bytes.Buffer
-		if err := sim.LastImage.EncodePNG(&buf); err != nil {
+		png, err := render.EncodePNGBytes(sim.LastImage)
+		if err != nil {
 			return nil, 0, 0, err
 		}
-		return buf.Bytes(), sim.LastImage.W, sim.LastImage.H, nil
+		return png, sim.LastImage.W, sim.LastImage.H, nil
 	}
 	rep, err := m.do(j, steering.ClientMsg{Op: steering.OpImage, Request: &req})
 	if err != nil {
@@ -415,8 +632,8 @@ func (m *Manager) renderFrame(j *Job, req insitu.Request) ([]byte, int, int, err
 	return rep.PNG, rep.W, rep.H, nil
 }
 
-// Close stops accepting jobs, cancels everything in flight and waits
-// for the workers — the graceful-shutdown path.
+// Close stops accepting jobs, cancels everything in flight, waits for
+// the runs and shuts the render pool — the graceful-shutdown path.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -437,4 +654,5 @@ func (m *Manager) Close() {
 		}
 	}
 	m.wg.Wait()
+	m.pool.Close()
 }

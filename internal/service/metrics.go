@@ -6,8 +6,8 @@ import (
 	"sync/atomic"
 )
 
-// Metrics are the service's monotonic counters, exposed at /metrics in
-// the flat `name value` text form scrapers expect.
+// Metrics are the service's counters and gauges, exposed at /metrics
+// in the flat `name value` text form scrapers expect.
 type Metrics struct {
 	JobsSubmitted  atomic.Int64
 	JobsRejected   atomic.Int64
@@ -17,9 +17,34 @@ type Metrics struct {
 	RendersTotal   atomic.Int64
 	FrameCacheHits atomic.Int64
 	FrameCacheMiss atomic.Int64
-	SteerOps       atomic.Int64
-	DataRequests   atomic.Int64
-	HTTPRequests   atomic.Int64
+	// FrameCacheEvict counts LRU evictions; FrameCacheDrops counts
+	// entries removed by per-job invalidation on terminal states.
+	FrameCacheEvict atomic.Int64
+	FrameCacheDrops atomic.Int64
+	SteerOps        atomic.Int64
+	DataRequests    atomic.Int64
+	HTTPRequests    atomic.Int64
+	// SnapshotsTotal counts field snapshots published by solvers into
+	// the render-offload path.
+	SnapshotsTotal atomic.Int64
+	// RenderQueueDepth is a gauge: render tasks accepted by the pool
+	// but not yet finished.
+	RenderQueueDepth atomic.Int64
+	// FrameLatencyNs / FrameLatencyCount accumulate pool render
+	// latency (submit → PNG encoded); mean = sum / count.
+	FrameLatencyNs    atomic.Int64
+	FrameLatencyCount atomic.Int64
+	// StreamClients is a gauge of live SSE subscribers;
+	// FramesStreamed counts frame events pushed to them.
+	StreamClients  atomic.Int64
+	FramesStreamed atomic.Int64
+}
+
+// RecordFrameLatency folds one pool render duration into the latency
+// accumulators.
+func (m *Metrics) RecordFrameLatency(ns int64) {
+	m.FrameLatencyNs.Add(ns)
+	m.FrameLatencyCount.Add(1)
 }
 
 // WriteTo emits the counters, satisfying the /metrics handler.
@@ -37,9 +62,17 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"hemeserved_renders_total", m.RendersTotal.Load()},
 		{"hemeserved_frame_cache_hits_total", m.FrameCacheHits.Load()},
 		{"hemeserved_frame_cache_misses_total", m.FrameCacheMiss.Load()},
+		{"hemeserved_frame_cache_evictions_total", m.FrameCacheEvict.Load()},
+		{"hemeserved_frame_cache_invalidated_total", m.FrameCacheDrops.Load()},
 		{"hemeserved_steer_ops_total", m.SteerOps.Load()},
 		{"hemeserved_data_requests_total", m.DataRequests.Load()},
 		{"hemeserved_http_requests_total", m.HTTPRequests.Load()},
+		{"hemeserved_snapshots_total", m.SnapshotsTotal.Load()},
+		{"hemeserved_render_queue_depth", m.RenderQueueDepth.Load()},
+		{"hemeserved_frame_latency_ns_sum", m.FrameLatencyNs.Load()},
+		{"hemeserved_frame_latency_ns_count", m.FrameLatencyCount.Load()},
+		{"hemeserved_stream_clients", m.StreamClients.Load()},
+		{"hemeserved_frames_streamed_total", m.FramesStreamed.Load()},
 	} {
 		n, err := fmt.Fprintf(w, "%s %d\n", c.name, c.v)
 		total += int64(n)

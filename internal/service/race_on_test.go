@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether the race detector instruments this
+// build; quantitative timing assertions are skipped under it, since
+// instrumentation overhead makes CPU contention dominate.
+const raceEnabled = true

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -249,6 +250,44 @@ func TestServiceEndToEnd(t *testing.T) {
 		t.Errorf("third poller not served from cache (status %d)", code)
 	}
 
+	// Push path: two SSE subscribers on the same paused view receive
+	// the identical frame bytes the pollers got, without any further
+	// render — the stream fans out through the same cache entry.
+	sseRenders := metric(t, base, "hemeserved_renders_total")
+	streamURL := base + "/api/v1/jobs/" + ids[1] + "/stream?w=64&h=48"
+	sseResults := make(chan []byte, 2)
+	sseErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			fr, err := collectFrames(streamURL, 1)
+			if err != nil {
+				sseErrs <- err
+				return
+			}
+			png, err := base64.StdEncoding.DecodeString(fr[0].PNG)
+			if err != nil {
+				sseErrs <- err
+				return
+			}
+			sseResults <- png
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-sseErrs:
+			t.Fatalf("SSE subscriber: %v", err)
+		case png := <-sseResults:
+			if !bytes.Equal(png, frames[0]) {
+				t.Error("SSE frame differs from the polled frame for the same view")
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("SSE subscriber timed out")
+		}
+	}
+	if d := metric(t, base, "hemeserved_renders_total") - sseRenders; d != 0 {
+		t.Errorf("streaming a cached paused view cost %d renders, want 0", d)
+	}
+
 	// Resume and verify stepping continues.
 	if code := httpJSON(t, "POST", base+"/api/v1/jobs/"+ids[1]+"/resume", "", nil); code != http.StatusOK {
 		t.Fatalf("resume status %d", code)
@@ -338,7 +377,7 @@ func TestSubmitValidation(t *testing.T) {
 // render function must run exactly once per step generation.
 func TestFrameCacheSingleFlight(t *testing.T) {
 	metrics := &Metrics{}
-	cache := NewFrameCache(metrics)
+	cache := NewFrameCache(metrics, 0)
 	var renders int
 	var mu sync.Mutex
 	slow := func() ([]byte, int, int, error) {
@@ -353,7 +392,7 @@ func TestFrameCacheSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			png, w, h, err := cache.Get("k", 7, slow)
+			png, w, h, err := cache.Get("job-x", "k", 7, slow)
 			if err != nil || string(png) != "frame" || w != 4 || h != 3 {
 				t.Errorf("get: %q %d %d %v", png, w, h, err)
 			}
@@ -364,7 +403,7 @@ func TestFrameCacheSingleFlight(t *testing.T) {
 		t.Errorf("16 concurrent gets caused %d renders, want 1", renders)
 	}
 	// A new step invalidates; an old entry does not satisfy it.
-	if _, _, _, err := cache.Get("k", 8, slow); err != nil {
+	if _, _, _, err := cache.Get("job-x", "k", 8, slow); err != nil {
 		t.Fatal(err)
 	}
 	if renders != 2 {

@@ -38,6 +38,11 @@ type JobSpec struct {
 	// rendering entirely (on-demand frame requests still work while
 	// the job runs).
 	VizEvery int `json:"viz_every,omitempty"`
+	// SnapshotEvery publishes an immutable field snapshot every N
+	// steps, feeding the render pool and the /stream fan-out. 0 (or
+	// omitted) means the default of 16; -1 disables snapshots — frames
+	// then render inside the solver loop via the steering path.
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
 	// PulseAmp/PulsePeriod drive the cardiac inlet waveform.
 	PulseAmp    float64 `json:"pulse_amp,omitempty"`
 	PulsePeriod float64 `json:"pulse_period,omitempty"`
@@ -64,8 +69,15 @@ func (sp JobSpec) withDefaults() JobSpec {
 	if sp.VizEvery == 0 {
 		sp.VizEvery = 16
 	}
+	if sp.SnapshotEvery == 0 {
+		sp.SnapshotEvery = 16
+	}
 	return sp
 }
+
+// SnapshotsEnabled reports whether the spec publishes field snapshots
+// (assumes withDefaults has run, as it has for any accepted job).
+func (sp JobSpec) SnapshotsEnabled() bool { return sp.SnapshotEvery > 0 }
 
 // Validate rejects specs the solver would choke on, before they enter
 // the queue. The scale/h bounds matter on a shared daemon: voxel count
@@ -104,6 +116,9 @@ func (sp JobSpec) Validate() error {
 	if sp.Ranks < 0 || sp.Ranks > 256 {
 		return fmt.Errorf("service: ranks out of range: %d", sp.Ranks)
 	}
+	if sp.SnapshotEvery < -1 {
+		return fmt.Errorf("service: snapshot_every %d invalid (N steps, 0 = default, -1 = off)", sp.SnapshotEvery)
+	}
 	return nil
 }
 
@@ -120,17 +135,22 @@ func (sp JobSpec) coreConfig() (core.Config, error) {
 	if vizEvery < 0 {
 		vizEvery = 0 // core semantics: 0 disables
 	}
+	snapEvery := sp.SnapshotEvery
+	if snapEvery < 0 {
+		snapEvery = 0 // core semantics: 0 disables
+	}
 	return core.Config{
-		Vessel:      v,
-		H:           sp.H,
-		Tau:         sp.Tau,
-		Ranks:       sp.Ranks,
-		Method:      partition.Method(sp.Method),
-		VizEvery:    vizEvery,
-		VizRequest:  req,
-		PulseAmp:    sp.PulseAmp,
-		PulsePeriod: sp.PulsePeriod,
-		Seed:        sp.Seed,
+		Vessel:        v,
+		H:             sp.H,
+		Tau:           sp.Tau,
+		Ranks:         sp.Ranks,
+		Method:        partition.Method(sp.Method),
+		VizEvery:      vizEvery,
+		SnapshotEvery: snapEvery,
+		VizRequest:    req,
+		PulseAmp:      sp.PulseAmp,
+		PulsePeriod:   sp.PulsePeriod,
+		Seed:          sp.Seed,
 	}, nil
 }
 

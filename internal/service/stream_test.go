@@ -1,0 +1,375 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// openStream subscribes to a job's SSE feed; the returned cancel stops
+// the subscription.
+func openStream(t *testing.T, url string) (*http.Response, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	rep, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if rep.StatusCode != http.StatusOK {
+		body := make([]byte, 256)
+		n, _ := rep.Body.Read(body)
+		rep.Body.Close()
+		cancel()
+		t.Fatalf("stream status %d: %s", rep.StatusCode, body[:n])
+	}
+	if ct := rep.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	return rep, cancel
+}
+
+// readEvents parses up to n events from an SSE stream.
+func readEvents(t *testing.T, sc *bufio.Scanner, n int) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	var cur sseEvent
+	for len(events) < n && sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if cur.name != "" || cur.data != nil {
+				events = append(events, cur)
+				cur = sseEvent{}
+			}
+		}
+	}
+	return events
+}
+
+// collectFrames subscribes to url and decodes n frame events; it is a
+// plain function so concurrent subscribers can run it off the test
+// goroutine.
+func collectFrames(url string, n int) ([]streamFrame, error) {
+	rep, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer rep.Body.Close()
+	if rep.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stream status %d", rep.StatusCode)
+	}
+	sc := bufio.NewScanner(rep.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var frames []streamFrame
+	var cur sseEvent
+	for len(frames) < n && sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if cur.name == "" && cur.data == nil {
+				continue
+			}
+			if cur.name != "frame" {
+				return frames, fmt.Errorf("unexpected SSE event %q: %s", cur.name, cur.data)
+			}
+			var f streamFrame
+			if err := json.Unmarshal(cur.data, &f); err != nil {
+				return frames, fmt.Errorf("bad frame payload %s: %w", cur.data, err)
+			}
+			frames = append(frames, f)
+			cur = sseEvent{}
+		}
+	}
+	if len(frames) < n {
+		return frames, fmt.Errorf("stream ended after %d frames, want %d", len(frames), n)
+	}
+	return frames, nil
+}
+
+// frameEvents decodes n frame events, failing on anything else.
+func frameEvents(t *testing.T, sc *bufio.Scanner, n int) []streamFrame {
+	t.Helper()
+	var frames []streamFrame
+	for _, ev := range readEvents(t, sc, n) {
+		if ev.name != "frame" {
+			t.Fatalf("unexpected SSE event %q: %s", ev.name, ev.data)
+		}
+		var f streamFrame
+		if err := json.Unmarshal(ev.data, &f); err != nil {
+			t.Fatalf("bad frame payload %s: %v", ev.data, err)
+		}
+		frames = append(frames, f)
+	}
+	if len(frames) < n {
+		t.Fatalf("stream ended after %d frames, want %d", len(frames), n)
+	}
+	return frames
+}
+
+// TestStreamTwoSubscribersShareRenders is the tentpole acceptance
+// test: two SSE subscribers on one job see the same frame bytes per
+// step, produced by a single render per snapshot (the cache is the
+// fan-out point), and the frames advance with the solver.
+func TestStreamTwoSubscribersShareRenders(t *testing.T) {
+	srv, base := startServer(t, 1, 4)
+	j := submit(t, base, `{"preset":"pipe","steps":2000000,"viz_every":-1,"snapshot_every":4}`)
+	waitState(t, base, j.ID, StateRunning)
+
+	rendersBefore := metric(t, base, "hemeserved_renders_total")
+	url := base + "/api/v1/jobs/" + j.ID + "/stream?w=64&h=48"
+	const wantFrames = 6
+
+	type result struct {
+		frames []streamFrame
+		err    error
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			frames, err := collectFrames(url, wantFrames)
+			results <- result{frames: frames, err: err}
+		}()
+	}
+	var subs [2][]streamFrame
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatalf("subscriber: %v", r.err)
+			}
+			subs[i] = r.frames
+		case <-time.After(60 * time.Second):
+			t.Fatal("subscriber timed out")
+		}
+	}
+
+	// Frames advance monotonically for each subscriber.
+	byStep := [2]map[int]string{{}, {}}
+	for si, frames := range subs {
+		lastStep := -1
+		for _, f := range frames {
+			if f.Step <= lastStep {
+				t.Errorf("subscriber %d: steps not increasing: %d after %d", si, f.Step, lastStep)
+			}
+			lastStep = f.Step
+			if f.W != 64 || f.H != 48 {
+				t.Errorf("frame size %dx%d, want 64x48", f.W, f.H)
+			}
+			png, err := base64.StdEncoding.DecodeString(f.PNG)
+			if err != nil {
+				t.Fatalf("frame is not base64: %v", err)
+			}
+			if !bytes.HasPrefix(png, []byte{0x89, 'P', 'N', 'G'}) {
+				t.Fatalf("frame payload is not a PNG")
+			}
+			byStep[si][f.Step] = f.PNG
+		}
+	}
+	// Same step ⇒ identical bytes across subscribers, and the two
+	// concurrent subscriptions must actually have overlapped.
+	shared := 0
+	for step, png0 := range byStep[0] {
+		if png1, ok := byStep[1][step]; ok {
+			shared++
+			if png0 != png1 {
+				t.Errorf("step %d: subscribers received different frames", step)
+			}
+		}
+	}
+	if shared < 2 {
+		t.Errorf("subscribers overlapped on %d steps; want >= 2 for a sharing claim", shared)
+	}
+	// Single render per snapshot: the render count is bounded by the
+	// union of steps seen, not by subscribers × frames.
+	distinct := len(byStep[0])
+	for step := range byStep[1] {
+		if _, ok := byStep[0][step]; !ok {
+			distinct++
+		}
+	}
+	// The hub may render a couple of trailing snapshots between a
+	// subscriber's last frame and its detach; allow that slack. What
+	// must not happen is per-subscriber rendering (≈ 2× distinct).
+	renders := metric(t, base, "hemeserved_renders_total") - rendersBefore
+	if renders > int64(distinct)+3 {
+		t.Errorf("%d renders for %d distinct streamed steps: fan-out is re-rendering", renders, distinct)
+	}
+	if streamed := metric(t, base, "hemeserved_frames_streamed_total"); streamed < 2*wantFrames {
+		t.Errorf("frames_streamed = %d, want >= %d", streamed, 2*wantFrames)
+	}
+
+	ctxShutdown(t, srv)
+}
+
+// TestStreamSlowSubscriberDoesNotBlock parks one subscriber that never
+// reads its connection while a second consumes frames: the healthy
+// subscriber and the solver must keep making progress — a stalled
+// client costs only its own socket, never the render pool.
+func TestStreamSlowSubscriberDoesNotBlock(t *testing.T) {
+	srv, base := startServer(t, 1, 4)
+	j := submit(t, base, `{"preset":"pipe","steps":2000000,"viz_every":-1,"snapshot_every":4}`)
+	waitState(t, base, j.ID, StateRunning)
+	url := base + "/api/v1/jobs/" + j.ID + "/stream?w=64&h=48"
+
+	// The stalled client: subscribes, then never reads a byte.
+	stalled, cancelStalled := openStream(t, url)
+	defer func() {
+		cancelStalled()
+		stalled.Body.Close()
+	}()
+	waitFor(t, "stalled subscriber to register", func() bool {
+		return metric(t, base, "hemeserved_stream_clients") >= 1
+	})
+
+	// The healthy client must still receive a full frame sequence.
+	stepBefore := jobInfo(t, base, j.ID).Step
+	rep, cancel := openStream(t, url)
+	defer cancel()
+	defer rep.Body.Close()
+	sc := bufio.NewScanner(rep.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	frames := frameEvents(t, sc, 5)
+	if len(frames) != 5 {
+		t.Fatalf("healthy subscriber got %d frames", len(frames))
+	}
+	// And the solver advanced underneath — frame production did not
+	// wedge stepping.
+	if after := jobInfo(t, base, j.ID).Step; after <= stepBefore {
+		t.Errorf("solver did not advance while streaming: %d -> %d", stepBefore, after)
+	}
+
+	ctxShutdown(t, srv)
+}
+
+// TestStreamEndsOnTerminal runs a short job to completion under a
+// subscriber: the feed must deliver frames and then an explicit end
+// event carrying the terminal state, and a frame requested after
+// termination is still served from the final snapshot — rendered by
+// the pool with no solver left to ask.
+func TestStreamEndsOnTerminal(t *testing.T) {
+	srv, base := startServer(t, 1, 4)
+	j := submit(t, base, `{"preset":"pipe","steps":120,"viz_every":-1,"snapshot_every":8}`)
+	url := base + "/api/v1/jobs/" + j.ID + "/stream?w=48&h=36"
+	rep, cancel := openStream(t, url)
+	defer cancel()
+	defer rep.Body.Close()
+	sc := bufio.NewScanner(rep.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var sawFrame bool
+	var end *streamEnd
+	for end == nil {
+		evs := readEvents(t, sc, 1)
+		if len(evs) == 0 {
+			t.Fatal("stream closed without an end event")
+		}
+		switch evs[0].name {
+		case "frame":
+			sawFrame = true
+		case "end":
+			var e streamEnd
+			if err := json.Unmarshal(evs[0].data, &e); err != nil {
+				t.Fatal(err)
+			}
+			end = &e
+		default:
+			t.Fatalf("unexpected event %q", evs[0].name)
+		}
+	}
+	if !sawFrame {
+		t.Error("stream delivered no frames before ending")
+	}
+	if end.State != StateDone || end.Error != "" {
+		t.Errorf("end event = %+v, want done with no error", end)
+	}
+	waitState(t, base, j.ID, StateDone)
+	// Post-terminal frame: rendered from the final snapshot.
+	code, png := httpGetRaw(t, base+"/api/v1/jobs/"+j.ID+"/frame?w=48&h=36")
+	if code != http.StatusOK || !bytes.HasPrefix(png, []byte{0x89, 'P', 'N', 'G'}) {
+		t.Errorf("frame after done: status %d, %d bytes", code, len(png))
+	}
+
+	// A job with snapshots disabled cannot stream: explicit conflict.
+	off := submit(t, base, `{"preset":"pipe","steps":2000000,"viz_every":-1,"snapshot_every":-1}`)
+	waitState(t, base, off.ID, StateRunning)
+	code, body := httpGetRaw(t, base+"/api/v1/jobs/"+off.ID+"/stream")
+	if code != http.StatusConflict {
+		t.Errorf("stream with snapshots off: status %d (%s), want 409", code, body)
+	}
+
+	ctxShutdown(t, srv)
+}
+
+// TestRenderOffloadKeepsSolverPace measures the decoupling claim
+// directly on one job: the solver's step rate while a client streams
+// every snapshot must stay within noise of its unobserved rate. The
+// bound is deliberately loose (2×) — the old in-loop render path cost
+// an order of magnitude more than a gather when frames were pulled
+// every snapshot.
+func TestRenderOffloadKeepsSolverPace(t *testing.T) {
+	srv, base := startServer(t, 1, 4)
+	j := submit(t, base, `{"preset":"pipe","steps":2000000,"viz_every":-1,"snapshot_every":8}`)
+	waitState(t, base, j.ID, StateRunning)
+
+	measure := func() float64 {
+		start := jobInfo(t, base, j.ID).Step
+		t0 := time.Now()
+		time.Sleep(1500 * time.Millisecond)
+		return float64(jobInfo(t, base, j.ID).Step-start) / time.Since(t0).Seconds()
+	}
+
+	quiet := measure()
+	rep, cancel := openStream(t, base+"/api/v1/jobs/"+j.ID+"/stream?w=96&h=72")
+	defer cancel()
+	defer rep.Body.Close()
+	go func() { // consume continuously so frames keep being produced
+		sc := bufio.NewScanner(rep.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+		}
+	}()
+	waitFor(t, "streaming to start", func() bool {
+		return metric(t, base, "hemeserved_frames_streamed_total") > 0
+	})
+	streaming := measure()
+
+	t.Logf("steps/sec quiet=%.0f streaming=%.0f", quiet, streaming)
+	if streaming <= 0 {
+		t.Error("solver made no progress while a client streamed")
+	}
+	// Under the race detector, instrumentation overhead makes solver
+	// and render workers contend for CPU; the quantitative bound only
+	// means something on an uninstrumented build.
+	if !raceEnabled && quiet > 0 && streaming < quiet/2 {
+		t.Errorf("streaming halved the solver: %.0f -> %.0f steps/sec", quiet, streaming)
+	}
+
+	ctxShutdown(t, srv)
+}
