@@ -1,0 +1,149 @@
+// Command doccheck is the offline markdown link checker CI runs over
+// docs/ and the README: every relative link must point at a file or
+// directory that exists in the repo, and every #fragment must match a
+// heading anchor (GitHub slug rules) in its target document. External
+// http(s)/mailto links are skipped — CI must not flake on the
+// network's mood.
+//
+//	go run ./cmd/doccheck README.md docs
+//
+// Exits non-zero listing every broken link as file:line.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	// inline links and images: [text](target) / ![alt](target "title")
+	linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+	// reference definitions: [label]: target
+	refRe     = regexp.MustCompile(`(?m)^\[[^\]]+\]:\s*(\S+)`)
+	headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+	fenceRe   = regexp.MustCompile("(?ms)^```.*?^```[ \t]*$")
+	inlineRe  = regexp.MustCompile("`[^`]*`")
+	slugDrop  = regexp.MustCompile(`[^a-z0-9 \-_]`)
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <file-or-dir>...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		st, err := os.Stat(arg)
+		if err != nil {
+			fail(err)
+		}
+		if !st.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return err
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	broken := 0
+	checked := 0
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			fail(err)
+		}
+		// Links inside fenced code blocks are examples, not links.
+		text := fenceRe.ReplaceAllStringFunc(string(raw), blankLines)
+		type link struct {
+			target string
+			offset int
+		}
+		var links []link
+		for _, m := range linkRe.FindAllStringSubmatchIndex(text, -1) {
+			links = append(links, link{text[m[2]:m[3]], m[2]})
+		}
+		for _, m := range refRe.FindAllStringSubmatchIndex(text, -1) {
+			links = append(links, link{text[m[2]:m[3]], m[2]})
+		}
+		for _, l := range links {
+			checked++
+			if problem := checkTarget(file, l.target); problem != "" {
+				line := 1 + strings.Count(text[:l.offset], "\n")
+				fmt.Printf("%s:%d: %s\n", file, line, problem)
+				broken++
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d broken link(s) in %d checked\n", broken, checked)
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d links ok across %d files\n", checked, len(files))
+}
+
+// checkTarget validates one link target relative to the markdown file
+// that contains it; returns "" when fine.
+func checkTarget(file, target string) string {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return "" // external: not checked offline
+	}
+	path, frag, _ := strings.Cut(target, "#")
+	resolved := file
+	if path != "" {
+		resolved = filepath.Join(filepath.Dir(file), path)
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Sprintf("broken link %q (%s does not exist)", target, resolved)
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.HasSuffix(resolved, ".md") {
+		return "" // anchors into non-markdown files are not ours to judge
+	}
+	raw, err := os.ReadFile(resolved)
+	if err != nil {
+		return fmt.Sprintf("unreadable link target %q: %v", target, err)
+	}
+	// Strip fenced code blocks before scanning headings: a shell
+	// comment like "# submit a job" inside a fence is not an anchor.
+	headings := fenceRe.ReplaceAllStringFunc(string(raw), blankLines)
+	for _, m := range headingRe.FindAllStringSubmatch(headings, -1) {
+		if slug(m[1]) == strings.ToLower(frag) {
+			return ""
+		}
+	}
+	return fmt.Sprintf("broken anchor %q (no heading slugs to #%s in %s)", target, frag, resolved)
+}
+
+// slug approximates GitHub's heading-anchor algorithm: drop inline
+// code backticks, lowercase, strip punctuation, spaces to hyphens.
+func slug(heading string) string {
+	s := inlineRe.ReplaceAllStringFunc(heading, func(c string) string {
+		return strings.Trim(c, "`")
+	})
+	s = strings.ToLower(s)
+	s = slugDrop.ReplaceAllString(s, "")
+	return strings.ReplaceAll(s, " ", "-")
+}
+
+// blankLines replaces a region with newlines so line numbers hold.
+func blankLines(s string) string {
+	return strings.Repeat("\n", strings.Count(s, "\n"))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "doccheck:", err)
+	os.Exit(1)
+}

@@ -8,6 +8,14 @@
 //
 //	hemeserved -addr 127.0.0.1:7070 -workers 4 -queue 64 -render-workers 4
 //
+// With -data-dir the daemon is durable: every accepted job is
+// journaled, running jobs checkpoint their solver state every
+// -checkpoint-every steps (overridable per job via checkpoint_every),
+// and a restart — graceful or kill -9 — re-queues interrupted jobs and
+// resumes each from its latest valid checkpoint:
+//
+//	hemeserved -addr 127.0.0.1:7070 -data-dir /var/lib/hemeserved
+//
 // Submit and drive jobs with plain HTTP:
 //
 //	curl -X POST localhost:7070/api/v1/jobs \
@@ -33,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/service/store"
 )
 
 func main() {
@@ -42,16 +51,34 @@ func main() {
 	renderWorkers := flag.Int("render-workers", 0, "render pool workers (0 = same as -workers)")
 	renderQueue := flag.Int("render-queue", 0, "render pool queue depth (0 = 4x render workers)")
 	cacheEntries := flag.Int("cache", 0, "frame cache capacity in entries (0 = 512)")
+	dataDir := flag.String("data-dir", "", "durable job store directory (empty = in-memory only)")
+	checkpointEvery := flag.Int("checkpoint-every", 64, "default checkpoint cadence in steps for jobs that leave checkpoint_every at 0 (-1 = no default; jobs may still opt in)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown window")
 	flag.Parse()
 
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		if st, err = store.Open(*dataDir); err != nil {
+			fmt.Fprintln(os.Stderr, "hemeserved:", err)
+			os.Exit(1)
+		}
+	}
+	metrics := &service.Metrics{}
 	mgr := service.NewManagerOpts(service.Options{
-		Workers:       *workers,
-		QueueCap:      *queue,
-		RenderWorkers: *renderWorkers,
-		RenderQueue:   *renderQueue,
-		CacheEntries:  *cacheEntries,
+		Workers:         *workers,
+		QueueCap:        *queue,
+		RenderWorkers:   *renderWorkers,
+		RenderQueue:     *renderQueue,
+		CacheEntries:    *cacheEntries,
+		Metrics:         metrics,
+		Store:           st,
+		CheckpointEvery: *checkpointEvery,
 	})
+	if st != nil {
+		fmt.Printf("hemeserved: data dir %s: recovered %d jobs (%d re-queued)\n",
+			*dataDir, metrics.JobsRecovered.Load(), metrics.JobRestarts.Load())
+	}
 	srv := service.NewServer(mgr)
 	if err := srv.Start(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "hemeserved:", err)

@@ -65,6 +65,15 @@ type jsonMultires struct {
 	QueryNs      int64   `json:"query_ns"`
 }
 
+type jsonJobs struct {
+	Persist     bool    `json:"persist"`
+	Jobs        int     `json:"jobs"`
+	StepsPerJob int     `json:"steps_per_job"`
+	WallNs      int64   `json:"wall_ns"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	Checkpoints int64   `json:"checkpoints_written"`
+}
+
 type jsonStream struct {
 	Subscribers    int     `json:"subscribers"`
 	StepsPerSec    float64 `json:"steps_per_sec"`
@@ -100,6 +109,7 @@ func main() {
 	weak := flag.Bool("weak", true, "also run weak scaling")
 	pre := flag.Bool("pre", true, "also run pre-processing sweeps (E8/E9/E10)")
 	stream := flag.Bool("stream", true, "also run the service frame-streaming sweep")
+	jobs := flag.Bool("jobs", true, "also run the service jobs-throughput sweep (with/without persistence)")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file (\"-\" = stdout)")
 	flag.Parse()
 
@@ -211,6 +221,22 @@ func main() {
 				r.RendersUsed, r.MeanFrameLatency.Nanoseconds()})
 		}
 		report["stream"] = sj
+	}
+
+	if *jobs {
+		fmt.Println()
+		fmt.Println("== service: jobs throughput (durable vs in-memory) ==")
+		jrows, err := experiments.JobsThroughput(nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatJobs(jrows))
+		jj := make([]jsonJobs, 0, len(jrows))
+		for _, r := range jrows {
+			jj = append(jj, jsonJobs{r.Persist, r.Jobs, r.StepsPerJob,
+				r.Wall.Nanoseconds(), r.JobsPerSec, r.Checkpoints})
+		}
+		report["jobs"] = jj
 	}
 
 	if *jsonOut != "" {

@@ -3,7 +3,10 @@
 // three simulations over HTTP, steers one mid-run, has two clients
 // poll the same frame to show the shared cache collapsing the renders,
 // and attaches two live SSE subscribers to one job to show the render
-// pool pushing each snapshot's frame once to everyone.
+// pool pushing each snapshot's frame once to everyone. It closes with
+// the durability loop: a job journaled to a data dir, the daemon
+// killed mid-run (store writes cut dead, crash-style), and a fresh
+// daemon on the same dir resuming the job from its last checkpoint.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/service/store"
 )
 
 func main() {
@@ -120,6 +124,72 @@ func main() {
 		fail(err)
 	}
 	fmt.Println("shut down cleanly")
+
+	durabilityDemo()
+}
+
+// durabilityDemo runs the kill-and-restart loop from docs/API.md: a
+// durable daemon checkpoints a job, dies mid-run without any graceful
+// journaling, and its successor on the same data dir resumes the job
+// from the last checkpoint instead of losing it.
+func durabilityDemo() {
+	dir, err := os.MkdirTemp("", "hemeserved-demo-*")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(dir)
+	fmt.Println("\n-- durability: kill a daemon mid-run, restart, lose nothing --")
+
+	st, err := store.Open(dir)
+	if err != nil {
+		fail(err)
+	}
+	mgr := service.NewManagerOpts(service.Options{Workers: 1, Store: st})
+	j, err := mgr.Submit(service.JobSpec{
+		Preset: "pipe", Steps: 100_000, VizEvery: -1, CheckpointEvery: 64,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("submitted %s (100k steps, checkpoint every 64) to data dir %s\n", j.ID, dir)
+	for {
+		if _, step, err := st.Checkpoint(j.ID); err == nil && step > 0 {
+			fmt.Printf("checkpoint on disk at step %d\n", step)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Crash: nothing journals past this instant, exactly like kill -9.
+	st.Freeze()
+	mgr.Close()
+	_, ckptStep, err := st.Checkpoint(j.ID)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("daemon killed; store left with state=running, checkpoint step %d\n", ckptStep)
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		fail(err)
+	}
+	metrics := &service.Metrics{}
+	mgr2 := service.NewManagerOpts(service.Options{Workers: 1, Store: st2, Metrics: metrics})
+	fmt.Printf("restart: recovered %d job(s), re-queued %d\n",
+		metrics.JobsRecovered.Load(), metrics.JobRestarts.Load())
+	j2, err := mgr2.Get(j.ID)
+	if err != nil {
+		fail(err)
+	}
+	info := j2.Info()
+	fmt.Printf("%s: recovered=%v restarts=%d resumed_from_step=%d\n",
+		info.ID, info.Recovered, info.Restarts, info.ResumedFromStep)
+	for j2.Step() <= ckptStep && !j2.State().Terminal() {
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("solver continued past the checkpoint: now at step %d (> %d), state %s\n",
+		j2.Step(), ckptStep, j2.State())
+	mgr2.Close()
+	fmt.Println("durable daemon shut down")
 }
 
 // streamSteps subscribes to an SSE frame feed and returns the solver

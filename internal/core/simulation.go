@@ -73,6 +73,25 @@ type Config struct {
 	// SnapshotEvery is the snapshot cadence in steps; 0 disables
 	// publication entirely.
 	SnapshotEvery int
+	// OnCheckpoint, when set together with CheckpointEvery > 0,
+	// receives on rank 0 a serialized solver checkpoint (the
+	// docs/CHECKPOINT_FORMAT.md stream) every CheckpointEvery steps.
+	// The gather is collective and the hook runs on the solver's
+	// critical path, so a durable sink should write synchronously only
+	// if it accepts the stall — the job store does, by design: a
+	// checkpoint that hasn't hit disk protects nothing.
+	OnCheckpoint func(step int, data []byte)
+	// CheckpointEvery is the checkpoint cadence in steps; 0 disables.
+	CheckpointEvery int
+	// Restore, when set, holds a decoded checkpoint the run resumes
+	// from (lb.DecodeCheckpoint; the arrays are treated read-only):
+	// Run validates it against the domain, installs it on every rank
+	// before the first step, and counts steps from the checkpoint's
+	// step onward — Run(total) then advances only the remaining
+	// total - Restore.Info.Step steps. Taking the decoded state
+	// rather than bytes keeps resume at one parse total: the caller
+	// decodes (and thereby CRC-checks) once, every rank shares it.
+	Restore *lb.CheckpointState
 	// PulseAmp/PulsePeriod add a sinusoidal modulation to the first
 	// inlet (cardiac waveform; 0 amplitude = steady).
 	PulseAmp    float64
@@ -195,6 +214,20 @@ func (s *Simulation) Run(totalSteps int) error {
 	start := time.Now()
 	var rank0Err error
 
+	// Resuming from a checkpoint: validate the decoded state against
+	// the domain before any rank starts, so a mismatch is a clean
+	// error, not a mid-collective panic.
+	startStep := 0
+	if cfg.Restore != nil {
+		info := cfg.Restore.Info
+		if info.Sites != s.Dom.NumSites() || info.Q != s.Dom.Model.Q || info.Iolets != len(s.Dom.Iolets) {
+			return fmt.Errorf("core: checkpoint is for %d sites Q=%d %d iolets; domain has %d/%d/%d",
+				info.Sites, info.Q, info.Iolets,
+				s.Dom.NumSites(), s.Dom.Model.Q, len(s.Dom.Iolets))
+		}
+		startStep = info.Step
+	}
+
 	s.RT.Run(func(c *par.Comm) {
 		// Each rank tracks the current partition locally; repartitioning
 		// replaces it collectively (rank 0 computes, everyone receives).
@@ -218,6 +251,13 @@ func (s *Simulation) Run(totalSteps int) error {
 				}
 			}
 		}
+		if cfg.Restore != nil {
+			// Validated above; every rank installs from the shared
+			// decoded state (concurrent read-only access).
+			if err := d.RestoreState(cfg.Restore); err != nil {
+				panic(err)
+			}
+		}
 		master := c.Rank() == 0
 		req := cfg.VizRequest
 		paused := false
@@ -227,7 +267,7 @@ func (s *Simulation) Run(totalSteps int) error {
 		lastSnapStep := -1
 		var stepTimer stats.Timer
 
-		for step := 0; step < totalSteps && !quit; step++ {
+		for step := startStep; step < totalSteps && !quit; step++ {
 			// Steering commands are handled at viz boundaries and while
 			// paused; all ranks must agree, so rank 0 broadcasts a
 			// command word each viz interval.
@@ -264,6 +304,15 @@ func (s *Simulation) Run(totalSteps int) error {
 			if snapDue {
 				s.publishSnapshot(c, d)
 				lastSnapStep = d.StepCount()
+			}
+
+			// Durable checkpoint at a deterministic cadence: the same
+			// collective-gather pattern as snapshots, feeding the job
+			// store through OnCheckpoint.
+			ckptDue := cfg.CheckpointEvery > 0 && cfg.OnCheckpoint != nil &&
+				!paused && d.StepCount()%cfg.CheckpointEvery == 0
+			if ckptDue {
+				s.checkpointDurable(c, d)
 			}
 
 			vizDue := cfg.VizEvery > 0 && d.StepCount()%cfg.VizEvery == 0 && !paused

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"bytes"
+	"io"
+
 	"repro/internal/field"
 	"repro/internal/lb"
 	"repro/internal/par"
@@ -33,4 +36,22 @@ func (s *Simulation) publishSnapshot(c *par.Comm, d *lb.Dist) {
 		Step:  d.StepCount(),
 		Field: &field.Field{Dom: s.Dom, Rho: rho, Ux: ux, Uy: uy, Uz: uz},
 	})
+}
+
+// checkpointDurable serializes the distributed solver state (collective
+// — every rank must call it at the same step) and hands rank 0's bytes
+// to the OnCheckpoint hook. A serialization failure is swallowed: the
+// run keeps going and the job simply keeps its previous checkpoint.
+func (s *Simulation) checkpointDurable(c *par.Comm, d *lb.Dist) {
+	var buf bytes.Buffer
+	var w io.Writer
+	if c.Rank() == 0 {
+		w = &buf
+	}
+	if err := d.Checkpoint(w); err != nil {
+		return
+	}
+	if c.Rank() == 0 {
+		s.Cfg.OnCheckpoint(d.StepCount(), buf.Bytes())
+	}
 }

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/store"
+)
+
+// JobsRow is one jobs-throughput measurement: N short simulations
+// pushed through the manager, measured from first submit to last
+// terminal state. The persist=true rows run the identical workload
+// with a durable store and an aggressive checkpoint cadence, so the
+// pair bounds what journaling + synchronous checkpoints cost — the
+// price of the §III resiliency property in submit/complete rate.
+type JobsRow struct {
+	// Persist marks rows run with a data dir (journaling on).
+	Persist bool
+	// Jobs is the batch size; StepsPerJob the solver steps each runs.
+	Jobs        int
+	StepsPerJob int
+	// Wall is first-submit → all-terminal; JobsPerSec = Jobs / Wall.
+	Wall       time.Duration
+	JobsPerSec float64
+	// Checkpoints counts durable checkpoints written (0 without
+	// persistence).
+	Checkpoints int64
+}
+
+// JobsThroughput runs the jobs-throughput benchmark for each batch
+// size, once in-memory and once persisted to a throwaway data dir.
+func JobsThroughput(batches []int) ([]JobsRow, error) {
+	if len(batches) == 0 {
+		batches = []int{4, 16, 64}
+	}
+	const stepsPerJob = 48
+	rows := make([]JobsRow, 0, 2*len(batches))
+	for _, n := range batches {
+		for _, persist := range []bool{false, true} {
+			row, err := jobsPoint(n, stepsPerJob, persist)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func jobsPoint(jobs, stepsPerJob int, persist bool) (JobsRow, error) {
+	metrics := &service.Metrics{}
+	opts := service.Options{Workers: 4, QueueCap: jobs, Metrics: metrics}
+	if persist {
+		dir, err := os.MkdirTemp("", "jobsbench-*")
+		if err != nil {
+			return JobsRow{}, err
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Open(dir)
+		if err != nil {
+			return JobsRow{}, err
+		}
+		opts.Store = st
+		opts.CheckpointEvery = 8
+	}
+	mgr := service.NewManagerOpts(opts)
+	defer mgr.Close()
+
+	spec := service.JobSpec{
+		Preset: "pipe", Steps: stepsPerJob, VizEvery: -1, SnapshotEvery: -1,
+	}
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		if _, err := mgr.Submit(spec); err != nil {
+			return JobsRow{}, err
+		}
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	for int(metrics.JobsDone.Load()+metrics.JobsFailed.Load()) < jobs {
+		if time.Now().After(deadline) {
+			return JobsRow{}, fmt.Errorf("experiments: jobs benchmark stalled at %d/%d",
+				metrics.JobsDone.Load(), jobs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wall := time.Since(start)
+	if failed := metrics.JobsFailed.Load(); failed > 0 {
+		return JobsRow{}, fmt.Errorf("experiments: %d benchmark jobs failed", failed)
+	}
+	return JobsRow{
+		Persist:     persist,
+		Jobs:        jobs,
+		StepsPerJob: stepsPerJob,
+		Wall:        wall,
+		JobsPerSec:  float64(jobs) / wall.Seconds(),
+		Checkpoints: metrics.CheckpointsWritten.Load(),
+	}, nil
+}
+
+// FormatJobs renders the sweep as an aligned table.
+func FormatJobs(rows []JobsRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s  %6s  %10s  %12s  %12s  %12s\n",
+		"persist", "jobs", "steps/job", "wall", "jobs/sec", "checkpoints")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8v  %6d  %10d  %12s  %12.1f  %12d\n",
+			r.Persist, r.Jobs, r.StepsPerJob,
+			r.Wall.Round(time.Millisecond), r.JobsPerSec, r.Checkpoints)
+	}
+	return b.String()
+}

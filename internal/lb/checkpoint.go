@@ -2,6 +2,7 @@ package lb
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc64"
@@ -12,34 +13,84 @@ import (
 // mean time between failures drops below job length, so the solver
 // state must be restartable. The format stores the full population
 // vector with a CRC so silent corruption is detected on restore.
+//
+// The binary layout (header, body, CRC64-ECMA trailer, and the rules
+// for evolving it) is documented in docs/CHECKPOINT_FORMAT.md. Solver
+// and Dist write the same global-site-major format, so a checkpoint
+// taken by either restores into the other for the same domain.
 
-// checkpointMagic identifies a checkpoint stream.
-const checkpointMagic = 0x6c626370 // "lbcp"
+// checkpointMagic identifies a checkpoint stream. Incompatible layout
+// changes must change this value — there is no version field; the
+// magic IS the version (see docs/CHECKPOINT_FORMAT.md). "lbcq"
+// superseded "lbcp" (0x6c626370) when the CRC's coverage was extended
+// over the header, so a corrupted step/shape field can no longer
+// verify.
+const checkpointMagic = 0x6c626371 // "lbcq"
+
+// checkpointHeaderLen is the fixed header size: 5 little-endian
+// uint64s (magic, step, sites, q, iolets).
+const checkpointHeaderLen = 5 * 8
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
-// Checkpoint writes the solver state (step counter, iolet settings,
-// populations) so a later Restore continues bit-exactly.
-func (s *Solver) Checkpoint(w io.Writer) error {
+// CheckpointInfo is the parsed checkpoint header: the solver step the
+// state was captured at and the domain shape it belongs to.
+type CheckpointInfo struct {
+	// Step is the completed-steps counter at capture time.
+	Step int
+	// Sites is the global fluid-site count; Q the lattice model size.
+	Sites int
+	Q     int
+	// Iolets is the number of in/outlet boundary densities stored.
+	Iolets int
+}
+
+// maxCheckpointSites bounds header-driven allocations so a corrupted
+// header cannot make a reader allocate terabytes before the CRC check
+// has a chance to reject it.
+const maxCheckpointSites = 1 << 28
+
+func (ci CheckpointInfo) validate() error {
+	if ci.Step < 0 || ci.Sites <= 0 || ci.Q <= 0 || ci.Iolets < 0 {
+		return fmt.Errorf("lb: checkpoint header out of range (step %d, %d sites, Q=%d, %d iolets)",
+			ci.Step, ci.Sites, ci.Q, ci.Iolets)
+	}
+	if ci.Sites > maxCheckpointSites || ci.Q > 64 || ci.Iolets > 1<<16 {
+		return fmt.Errorf("lb: checkpoint header implausibly large (%d sites, Q=%d, %d iolets)",
+			ci.Sites, ci.Q, ci.Iolets)
+	}
+	return nil
+}
+
+// EncodedLen returns the exact byte length of a checkpoint stream
+// with this header: header, body (iolets + populations), CRC trailer.
+// Loaders use it to reject a corrupted shape before allocating.
+func (ci CheckpointInfo) EncodedLen() int {
+	return checkpointHeaderLen + 8*(ci.Iolets+ci.Sites*ci.Q) + 8
+}
+
+// writeCheckpoint emits the canonical stream: header and body (iolet
+// densities then populations), both CRC-covered, then the CRC trailer.
+func writeCheckpoint(w io.Writer, step int, ioletRho, f []float64, sites, q int) error {
 	bw := bufio.NewWriter(w)
+	crc := crc64.New(crcTable)
+	mw := io.MultiWriter(bw, crc)
 	head := []uint64{
 		checkpointMagic,
-		uint64(s.step),
-		uint64(s.n),
-		uint64(s.M.Q),
-		uint64(len(s.ioletRho)),
+		uint64(step),
+		uint64(sites),
+		uint64(q),
+		uint64(len(ioletRho)),
 	}
 	for _, v := range head {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+		if err := binary.Write(mw, binary.LittleEndian, v); err != nil {
 			return fmt.Errorf("lb: checkpoint header: %w", err)
 		}
 	}
-	crc := crc64.New(crcTable)
-	mw := io.MultiWriter(bw, crc)
-	if err := binary.Write(mw, binary.LittleEndian, s.ioletRho); err != nil {
+	if err := binary.Write(mw, binary.LittleEndian, ioletRho); err != nil {
 		return fmt.Errorf("lb: checkpoint iolets: %w", err)
 	}
-	if err := binary.Write(mw, binary.LittleEndian, s.f); err != nil {
+	if err := binary.Write(mw, binary.LittleEndian, f); err != nil {
 		return fmt.Errorf("lb: checkpoint populations: %w", err)
 	}
 	if err := binary.Write(bw, binary.LittleEndian, crc.Sum64()); err != nil {
@@ -48,44 +99,220 @@ func (s *Solver) Checkpoint(w io.Writer) error {
 	return bw.Flush()
 }
 
+// readCheckpointHeader parses and sanity-checks the fixed header,
+// leaving the reader positioned at the body. It also returns the raw
+// header bytes so the body reader can fold them into the CRC.
+func readCheckpointHeader(br *bufio.Reader) (CheckpointInfo, []byte, error) {
+	raw := make([]byte, checkpointHeaderLen)
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return CheckpointInfo{}, nil, fmt.Errorf("lb: restore header: %w", err)
+	}
+	if magic := binary.LittleEndian.Uint64(raw); magic != checkpointMagic {
+		return CheckpointInfo{}, nil, fmt.Errorf("lb: not a checkpoint (magic %#x)", magic)
+	}
+	ci := CheckpointInfo{
+		Step:   int(binary.LittleEndian.Uint64(raw[8:])),
+		Sites:  int(binary.LittleEndian.Uint64(raw[16:])),
+		Q:      int(binary.LittleEndian.Uint64(raw[24:])),
+		Iolets: int(binary.LittleEndian.Uint64(raw[32:])),
+	}
+	if err := ci.validate(); err != nil {
+		return CheckpointInfo{}, nil, err
+	}
+	return ci, raw, nil
+}
+
+// readCheckpointBody reads the iolet densities and populations the
+// header describes and verifies the CRC trailer over header + body.
+func readCheckpointBody(br *bufio.Reader, ci CheckpointInfo, rawHeader []byte) (iolets, f []float64, err error) {
+	crc := crc64.New(crcTable)
+	crc.Write(rawHeader)
+	tr := io.TeeReader(br, crc)
+	iolets = make([]float64, ci.Iolets)
+	if err := binary.Read(tr, binary.LittleEndian, &iolets); err != nil {
+		return nil, nil, fmt.Errorf("lb: restore iolets: %w", err)
+	}
+	f = make([]float64, ci.Sites*ci.Q)
+	if err := binary.Read(tr, binary.LittleEndian, &f); err != nil {
+		return nil, nil, fmt.Errorf("lb: restore populations: %w", err)
+	}
+	var want uint64
+	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		return nil, nil, fmt.Errorf("lb: restore crc: %w", err)
+	}
+	if got := crc.Sum64(); got != want {
+		return nil, nil, fmt.Errorf("lb: checkpoint corrupt (crc %#x, want %#x)", got, want)
+	}
+	return iolets, f, nil
+}
+
+// PeekCheckpoint parses and sanity-checks only the fixed header —
+// magic and shape, no body read, no CRC — the cheap pre-check for
+// domain compatibility. Use VerifyCheckpointBytes when integrity
+// matters.
+func PeekCheckpoint(r io.Reader) (CheckpointInfo, error) {
+	ci, _, err := readCheckpointHeader(bufio.NewReader(r))
+	return ci, err
+}
+
+// CheckpointState is a fully decoded checkpoint: the header plus the
+// replicated iolet densities and the global population vector. The
+// arrays are read-only by convention, so one decoded state can be
+// shared by every rank of a restore.
+type CheckpointState struct {
+	Info     CheckpointInfo
+	IoletRho []float64
+	F        []float64
+}
+
+// DecodeCheckpoint fully parses and CRC-verifies a checkpoint stream
+// into its decoded state. Decode once, then install on each rank with
+// Dist.RestoreState — parsing per rank would multiply the transient
+// memory by the rank count.
+func DecodeCheckpoint(r io.Reader) (*CheckpointState, error) {
+	br := bufio.NewReader(r)
+	ci, raw, err := readCheckpointHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	iolets, f, err := readCheckpointBody(br, ci, raw)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointState{Info: ci, IoletRho: iolets, F: f}, nil
+}
+
+// VerifyCheckpoint fully parses a checkpoint stream — header sanity,
+// body, CRC — without needing a solver, and reports what it holds.
+func VerifyCheckpoint(r io.Reader) (CheckpointInfo, error) {
+	st, err := DecodeCheckpoint(r)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	return st.Info, nil
+}
+
+// DecodeCheckpointBytes is DecodeCheckpoint for an in-memory stream,
+// with one extra defence the reader form cannot have: the header's
+// claimed shape must match the actual byte length exactly before any
+// body buffer is allocated, so a corrupted size field fails fast
+// instead of attempting a huge allocation. The durable job store
+// loads every checkpoint through this path.
+func DecodeCheckpointBytes(data []byte) (*CheckpointState, error) {
+	ci, _, err := readCheckpointHeader(bufio.NewReader(bytes.NewReader(data)))
+	if err != nil {
+		return nil, err
+	}
+	if want := ci.EncodedLen(); len(data) != want {
+		return nil, fmt.Errorf("lb: checkpoint is %d bytes, header implies %d", len(data), want)
+	}
+	return DecodeCheckpoint(bytes.NewReader(data))
+}
+
+// VerifyCheckpointBytes is DecodeCheckpointBytes when only validity
+// and the header are wanted.
+func VerifyCheckpointBytes(data []byte) (CheckpointInfo, error) {
+	st, err := DecodeCheckpointBytes(data)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	return st.Info, nil
+}
+
+// Checkpoint writes the solver state (step counter, iolet settings,
+// populations) so a later Restore continues bit-exactly.
+func (s *Solver) Checkpoint(w io.Writer) error {
+	return writeCheckpoint(w, s.step, s.ioletRho, s.f, s.n, s.M.Q)
+}
+
 // Restore loads a checkpoint written by Checkpoint into this solver.
 // The domain (site count, model) must match; the CRC must verify.
 func (s *Solver) Restore(r io.Reader) error {
 	br := bufio.NewReader(r)
-	var head [5]uint64
-	if err := binary.Read(br, binary.LittleEndian, &head); err != nil {
-		return fmt.Errorf("lb: restore header: %w", err)
+	ci, raw, err := readCheckpointHeader(br)
+	if err != nil {
+		return err
 	}
-	if head[0] != checkpointMagic {
-		return fmt.Errorf("lb: not a checkpoint (magic %#x)", head[0])
-	}
-	if int(head[2]) != s.n || int(head[3]) != s.M.Q {
+	if ci.Sites != s.n || ci.Q != s.M.Q {
 		return fmt.Errorf("lb: checkpoint is for %d sites Q=%d, solver has %d Q=%d",
-			head[2], head[3], s.n, s.M.Q)
+			ci.Sites, ci.Q, s.n, s.M.Q)
 	}
-	if int(head[4]) != len(s.ioletRho) {
-		return fmt.Errorf("lb: checkpoint has %d iolets, domain has %d", head[4], len(s.ioletRho))
+	if ci.Iolets != len(s.ioletRho) {
+		return fmt.Errorf("lb: checkpoint has %d iolets, domain has %d", ci.Iolets, len(s.ioletRho))
 	}
-	crc := crc64.New(crcTable)
-	tr := io.TeeReader(br, crc)
-	iolets := make([]float64, len(s.ioletRho))
-	if err := binary.Read(tr, binary.LittleEndian, &iolets); err != nil {
-		return fmt.Errorf("lb: restore iolets: %w", err)
-	}
-	f := make([]float64, s.n*s.M.Q)
-	if err := binary.Read(tr, binary.LittleEndian, &f); err != nil {
-		return fmt.Errorf("lb: restore populations: %w", err)
-	}
-	var want uint64
-	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
-		return fmt.Errorf("lb: restore crc: %w", err)
-	}
-	if got := crc.Sum64(); got != want {
-		return fmt.Errorf("lb: checkpoint corrupt (crc %#x, want %#x)", got, want)
+	iolets, f, err := readCheckpointBody(br, ci, raw)
+	if err != nil {
+		return err
 	}
 	// Only commit after full validation.
-	s.step = int(head[1])
+	s.step = ci.Step
 	copy(s.ioletRho, iolets)
 	copy(s.f, f)
 	return nil
+}
+
+// Checkpoint gathers the distributed state to rank 0 and writes it in
+// the same global-site-major format Solver.Checkpoint uses, so a Dist
+// checkpoint restores into a Solver (and vice versa) for the same
+// domain. It is collective: every rank must call it at the same step;
+// only rank 0 writes to w (other ranks may pass nil) and only rank 0
+// can return an error.
+func (d *Dist) Checkpoint(w io.Writer) error {
+	q := d.M
+	buf := make([]float64, len(d.Owned)*(q+1))
+	for li, g := range d.Owned {
+		at := li * (q + 1)
+		buf[at] = float64(g)
+		copy(buf[at+1:at+1+q], d.f[li*q:(li+1)*q])
+	}
+	parts := d.Comm.Gather(0, buf)
+	if parts == nil {
+		return nil // non-root
+	}
+	n := d.Dom.NumSites()
+	f := make([]float64, n*q)
+	for _, p := range parts {
+		for i := 0; i+q < len(p); i += q + 1 {
+			g := int(p[i])
+			copy(f[g*q:(g+1)*q], p[i+1:i+1+q])
+		}
+	}
+	return writeCheckpoint(w, d.step, d.ioletRho, f, n, q)
+}
+
+// RestoreState installs a decoded global checkpoint into this rank's
+// subdomain: the populations of the sites it owns, the replicated
+// iolet densities, and the step counter. All ranks must call it with
+// the same (shared, read-only) state before any rank steps.
+func (d *Dist) RestoreState(st *CheckpointState) error {
+	ci := st.Info
+	if ci.Sites != d.Dom.NumSites() || ci.Q != d.M {
+		return fmt.Errorf("lb: checkpoint is for %d sites Q=%d, dist has %d Q=%d",
+			ci.Sites, ci.Q, d.Dom.NumSites(), d.M)
+	}
+	if ci.Iolets != len(d.ioletRho) {
+		return fmt.Errorf("lb: checkpoint has %d iolets, domain has %d", ci.Iolets, len(d.ioletRho))
+	}
+	for li, g := range d.Owned {
+		copy(d.f[li*ci.Q:(li+1)*ci.Q], st.F[g*ci.Q:(g+1)*ci.Q])
+	}
+	copy(d.ioletRho, st.IoletRho)
+	d.step = ci.Step
+	return nil
+}
+
+// Restore loads a global checkpoint stream into this rank's
+// subdomain. When many ranks restore the same bytes, decode once with
+// DecodeCheckpoint and share the state via RestoreState instead.
+func (d *Dist) Restore(r io.Reader) error {
+	st, err := DecodeCheckpoint(r)
+	if err != nil {
+		return err
+	}
+	return d.RestoreState(st)
+}
+
+// RestoreBytes is Restore over an in-memory checkpoint.
+func (d *Dist) RestoreBytes(data []byte) error {
+	return d.Restore(bytes.NewReader(data))
 }

@@ -6,7 +6,9 @@
 // (density, velocity, wall shear stress).
 //
 // Solver is the single-rank kernel; Dist (dist.go) couples one Solver
-// subdomain per rank through halo exchange on the par runtime.
+// subdomain per rank through halo exchange on the par runtime. Both
+// can checkpoint/restore their full state bit-exactly (checkpoint.go);
+// the on-disk binary format is specified in docs/CHECKPOINT_FORMAT.md.
 package lb
 
 import (

@@ -1,0 +1,285 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/service/store"
+)
+
+// durableSpec is the shared workload for the durability suite: long
+// enough that a kill lands mid-run, deterministic (no steering), with
+// snapshots on so final fields can be compared bit-exactly.
+func durableSpec(steps int) JobSpec {
+	return JobSpec{
+		Preset: "pipe", Steps: steps, Ranks: 2,
+		VizEvery: -1, SnapshotEvery: 500, CheckpointEvery: 32,
+	}
+}
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitCheckpoint polls the store until the job has a valid checkpoint,
+// returning its step.
+func waitCheckpoint(t *testing.T, st *store.Store, id string) int {
+	t.Helper()
+	var step int
+	waitFor(t, "first checkpoint of "+id, func() bool {
+		_, s, err := st.Checkpoint(id)
+		step = s
+		return err == nil && s > 0
+	})
+	return step
+}
+
+// TestKillAndResumeBitExact is the resiliency e2e the ROADMAP asks
+// for: a job is interrupted by a SIGKILL-equivalent daemon death
+// (store writes cut dead, no graceful journaling), a new daemon on the
+// same data dir re-queues it, and it resumes from the latest
+// checkpoint — step counter strictly beyond the checkpoint step and
+// final fields bit-exact against an uninterrupted run of the same
+// spec.
+func TestKillAndResumeBitExact(t *testing.T) {
+	dir := t.TempDir()
+	spec := durableSpec(8000)
+
+	// Daemon #1: run until the first checkpoint lands, then die.
+	st1 := openStore(t, dir)
+	mgr1 := NewManagerOpts(Options{Workers: 1, QueueCap: 4, Store: st1})
+	j1, err := mgr1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCheckpoint(t, st1, j1.ID)
+	if j1.State().Terminal() {
+		t.Fatal("job finished before the kill; raise steps")
+	}
+	// SIGKILL equivalent: no store write after this instant survives;
+	// Close just reaps the orphaned goroutines.
+	st1.Freeze()
+	mgr1.Close()
+	ckptStep := func() int {
+		_, s, err := st1.Checkpoint(j1.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}()
+	if ckptStep <= 0 || ckptStep >= spec.Steps {
+		t.Fatalf("checkpoint step %d out of range", ckptStep)
+	}
+
+	// Daemon #2 on the same data dir: the job must come back queued,
+	// flagged recovered, and resume from the checkpoint.
+	mgr2 := NewManagerOpts(Options{Workers: 1, QueueCap: 4, Store: openStore(t, dir)})
+	defer mgr2.Close()
+	j2, err := mgr2.Get(j1.ID)
+	if err != nil {
+		t.Fatalf("job not recovered: %v", err)
+	}
+	info := j2.Info()
+	if !info.Recovered || info.Restarts != 1 {
+		t.Errorf("recovered=%v restarts=%d, want true/1", info.Recovered, info.Restarts)
+	}
+	if info.ResumedFromStep != ckptStep {
+		t.Errorf("resumed_from_step=%d, want checkpoint step %d", info.ResumedFromStep, ckptStep)
+	}
+	// The step counter must never be seen below the checkpoint: the
+	// run continues, it does not start over.
+	for !j2.State().Terminal() {
+		if s := j2.Step(); s < ckptStep {
+			t.Fatalf("resumed job observed at step %d < checkpoint %d", s, ckptStep)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := j2.State(); st != StateDone {
+		t.Fatalf("resumed job ended %s (%s)", st, j2.Info().Error)
+	}
+	if s := j2.Step(); s != spec.Steps {
+		t.Errorf("resumed job finished at step %d, want %d", s, spec.Steps)
+	}
+
+	// Reference: the same spec uninterrupted, no persistence.
+	mgr3 := NewManagerOpts(Options{Workers: 1, QueueCap: 4})
+	defer mgr3.Close()
+	ref, err := mgr3.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "reference run", func() bool { return ref.State().Terminal() })
+	if ref.State() != StateDone {
+		t.Fatalf("reference ended %s", ref.State())
+	}
+	got, _ := j2.LatestSnapshot()
+	want, _ := ref.LatestSnapshot()
+	if got == nil || want == nil {
+		t.Fatal("missing final snapshots")
+	}
+	if got.Step != want.Step {
+		t.Fatalf("final snapshot steps differ: %d vs %d", got.Step, want.Step)
+	}
+	for i := range want.Field.Rho {
+		if got.Field.Rho[i] != want.Field.Rho[i] ||
+			got.Field.Ux[i] != want.Field.Ux[i] ||
+			got.Field.Uy[i] != want.Field.Uy[i] ||
+			got.Field.Uz[i] != want.Field.Uz[i] {
+			t.Fatalf("resumed run diverged from uninterrupted run at site %d", i)
+		}
+	}
+}
+
+// TestCorruptCheckpointFallsBackToStepZero: a valid spec whose
+// checkpoint file is garbage must recover as a clean restart from
+// step 0 — degraded, never a crash or a failed job.
+func TestCorruptCheckpointFallsBackToStepZero(t *testing.T) {
+	dir := t.TempDir()
+	spec := durableSpec(600)
+
+	st1 := openStore(t, dir)
+	mgr1 := NewManagerOpts(Options{Workers: 1, QueueCap: 4, Store: st1})
+	j1, err := mgr1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCheckpoint(t, st1, j1.ID)
+	st1.Freeze()
+	mgr1.Close()
+
+	// Trash the checkpoint payload on disk.
+	path := filepath.Join(dir, "jobs", j1.ID, "checkpoint.bin")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	metrics := &Metrics{}
+	mgr2 := NewManagerOpts(Options{Workers: 1, QueueCap: 4, Store: openStore(t, dir), Metrics: metrics})
+	defer mgr2.Close()
+	if n := metrics.CheckpointsInvalid.Load(); n != 1 {
+		t.Errorf("checkpoints_invalid = %d, want 1", n)
+	}
+	j2, err := mgr2.Get(j1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := j2.Info(); !info.Recovered || info.ResumedFromStep != 0 {
+		t.Errorf("recovered=%v resumed_from_step=%d, want true/0", info.Recovered, info.ResumedFromStep)
+	}
+	waitFor(t, "re-run from scratch", func() bool { return j2.State().Terminal() })
+	if st := j2.State(); st != StateDone {
+		t.Fatalf("re-run ended %s (%s)", st, j2.Info().Error)
+	}
+	if s := j2.Step(); s != spec.Steps {
+		t.Errorf("re-run finished at step %d, want %d", s, spec.Steps)
+	}
+}
+
+// TestGracefulShutdownResumesToo: a SIGTERM-style Close must leave the
+// store's interrupted record intact (not "cancelled"), so the next
+// boot resumes the job exactly like a crash would — restarts lose
+// nothing either way. A job the user cancelled stays cancelled.
+func TestGracefulShutdownResumesToo(t *testing.T) {
+	dir := t.TempDir()
+	spec := durableSpec(8000)
+
+	st1 := openStore(t, dir)
+	mgr1 := NewManagerOpts(Options{Workers: 2, QueueCap: 4, Store: st1})
+	j1, err := mgr1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, err := mgr1.Submit(durableSpec(50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "victim running", func() bool { return cancelled.State() == StateRunning })
+	if err := mgr1.Cancel(cancelled); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "victim cancelled", func() bool { return cancelled.State().Terminal() })
+	waitCheckpoint(t, st1, j1.ID)
+	if j1.State().Terminal() {
+		t.Fatal("job finished before shutdown; raise steps")
+	}
+	mgr1.Close() // graceful: drains, but must NOT journal j1 as cancelled
+
+	rec, err := st1.State(j1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if JobState(rec.State).Terminal() {
+		t.Fatalf("graceful shutdown journaled terminal state %q; restart would drop the job", rec.State)
+	}
+
+	mgr2 := NewManagerOpts(Options{Workers: 1, QueueCap: 4, Store: openStore(t, dir)})
+	defer mgr2.Close()
+	j2, err := mgr2.Get(j1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := j2.Info(); !info.Recovered || info.ResumedFromStep == 0 {
+		t.Errorf("after graceful shutdown: recovered=%v resumed_from_step=%d, want true/>0",
+			info.Recovered, info.ResumedFromStep)
+	}
+	c2, err := mgr2.Get(cancelled.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.State(); st != StateCancelled {
+		t.Errorf("user-cancelled job recovered as %s, want cancelled history", st)
+	}
+	waitFor(t, "resumed job to finish", func() bool { return j2.State().Terminal() })
+	if st := j2.State(); st != StateDone {
+		t.Fatalf("resumed job ended %s (%s)", st, j2.Info().Error)
+	}
+}
+
+// TestDoneJobsSurviveAsHistory: finished jobs reload as read-only
+// history with their final step, and new submissions continue the ID
+// sequence instead of colliding with journaled ones.
+func TestDoneJobsSurviveAsHistory(t *testing.T) {
+	dir := t.TempDir()
+	spec := durableSpec(400)
+
+	mgr1 := NewManagerOpts(Options{Workers: 1, QueueCap: 4, Store: openStore(t, dir)})
+	j1, err := mgr1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job done", func() bool { return j1.State() == StateDone })
+	mgr1.Close()
+
+	mgr2 := NewManagerOpts(Options{Workers: 1, QueueCap: 4, Store: openStore(t, dir)})
+	defer mgr2.Close()
+	j2, err := mgr2.Get(j1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := j2.Info()
+	if info.State != StateDone || !info.Recovered || info.Step != spec.Steps {
+		t.Errorf("history = %+v, want done/recovered at step %d", info, spec.Steps)
+	}
+	if info.Restarts != 0 {
+		t.Errorf("done job counted %d restarts", info.Restarts)
+	}
+	fresh, err := mgr2.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID == j1.ID {
+		t.Errorf("new submission reused journaled ID %s", fresh.ID)
+	}
+}

@@ -2,7 +2,12 @@ package service
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/insitu"
 	"repro/internal/render"
+	"repro/internal/service/store"
 	"repro/internal/steering"
 )
 
@@ -82,6 +88,25 @@ type Job struct {
 	// one again. Guarded by mu; the actual channel send/receive
 	// happens outside the lock.
 	holdsSlot bool
+	// Durability bookkeeping (guarded by mu): recovered marks a job
+	// loaded from the store after a daemon restart, restarts counts
+	// how many times an interruption re-queued it, and resumeStep is
+	// the checkpoint step the current/last run resumed from (0 = a
+	// fresh start). The checkpoint bytes themselves are re-read from
+	// the store at dispatch time, not held across the queued wait.
+	recovered  bool
+	restarts   int
+	resumeStep int
+	// shutdownCancel marks a cancel issued by Close (daemon draining,
+	// not a user decision): the terminal cancelled state then stays
+	// out of the store, so the job is re-queued on the next boot.
+	shutdownCancel bool
+	// journalMu serialises this job's state.json writes: the record
+	// build and the store write happen under it together, so a racing
+	// Pause/Resume can never journal a stale non-terminal record over
+	// the terminal one finish() wrote (which would resurrect a
+	// completed job on the next boot).
+	journalMu sync.Mutex
 
 	// Snapshot box: the latest immutable field snapshot plus a
 	// broadcast channel that closes whenever a new one lands (or the
@@ -106,6 +131,13 @@ type JobInfo struct {
 	CreatedAt  string   `json:"created_at"`
 	StartedAt  string   `json:"started_at,omitempty"`
 	FinishedAt string   `json:"finished_at,omitempty"`
+	// Recovered marks jobs reloaded from the data dir after a daemon
+	// restart; Restarts counts how many restarts interrupted the job;
+	// ResumedFromStep is the checkpoint step the latest run resumed
+	// from (0 = it started from scratch).
+	Recovered       bool `json:"recovered,omitempty"`
+	Restarts        int  `json:"restarts,omitempty"`
+	ResumedFromStep int  `json:"resumed_from_step,omitempty"`
 }
 
 // Info snapshots the job for serialisation.
@@ -123,6 +155,10 @@ func (j *Job) Info() JobInfo {
 		NumSites:   j.numSites,
 		Error:      j.errMsg,
 		CreatedAt:  j.created.UTC().Format(time.RFC3339Nano),
+
+		Recovered:       j.recovered,
+		Restarts:        j.restarts,
+		ResumedFromStep: j.resumeStep,
 	}
 	if !j.started.IsZero() {
 		info.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
@@ -194,6 +230,16 @@ type Options struct {
 	// CacheEntries caps the LRU frame cache (default 512).
 	CacheEntries int
 	Metrics      *Metrics
+	// Store, when set, makes jobs durable: specs and lifecycle states
+	// are journaled on every change, running jobs checkpoint their
+	// solver state at a cadence, and NewManagerOpts re-queues whatever
+	// a previous daemon left unfinished.
+	Store *store.Store
+	// CheckpointEvery is the default checkpoint cadence in steps for
+	// specs that leave checkpoint_every at 0: 0 means the built-in 64,
+	// -1 means no default checkpointing (specs can still opt in with
+	// an explicit positive checkpoint_every). Ignored without Store.
+	CheckpointEvery int
 }
 
 // Manager owns the bounded submission queue, the concurrency slots the
@@ -201,7 +247,16 @@ type Options struct {
 // cache) every transport shares.
 type Manager struct {
 	metrics *Metrics
-	queue   chan *Job
+	// store is the durability layer (nil = in-memory only); ckptEvery
+	// is the default checkpoint cadence for specs that don't set one.
+	store     *store.Store
+	ckptEvery int
+	queue     chan *Job
+	// queueCap is the configured admission limit. Recovery may size
+	// the queue channel above it to hold a large re-queued backlog,
+	// but new submissions are judged against this, so a restart never
+	// loosens the operator's backpressure setting.
+	queueCap int
 	// slots is the semaphore of concurrently *stepping* jobs: the
 	// dispatcher takes a token before starting a run, Pause returns
 	// it, Resume takes one again. A paused job therefore costs a
@@ -252,14 +307,38 @@ func NewManagerOpts(o Options) *Manager {
 	if o.Metrics == nil {
 		o.Metrics = &Metrics{}
 	}
+	switch {
+	case o.CheckpointEvery == 0:
+		o.CheckpointEvery = 64
+	case o.CheckpointEvery < 0:
+		o.CheckpointEvery = 0 // no daemon default; specs may still opt in
+	}
 	m := &Manager{
-		metrics: o.Metrics,
-		queue:   make(chan *Job, o.QueueCap),
-		slots:   make(chan struct{}, o.Workers),
-		cache:   NewFrameCache(o.Metrics, o.CacheEntries),
-		pool:    NewRenderPool(o.RenderWorkers, o.RenderQueue, o.Metrics),
-		jobs:    make(map[string]*Job),
-		hubs:    make(map[string]*viewHub),
+		metrics:   o.Metrics,
+		store:     o.Store,
+		ckptEvery: o.CheckpointEvery,
+		slots:     make(chan struct{}, o.Workers),
+		cache:     NewFrameCache(o.Metrics, o.CacheEntries),
+		pool:      NewRenderPool(o.RenderWorkers, o.RenderQueue, o.Metrics),
+		jobs:      make(map[string]*Job),
+		hubs:      make(map[string]*viewHub),
+	}
+	// Recovery runs before the dispatcher exists, so the re-queued
+	// backlog can size the queue channel (a restart must never drop
+	// jobs to queue-full) and prefill it without racing anything.
+	var pending []*Job
+	if m.store != nil {
+		pending = m.recoverFromStore()
+	}
+	m.queueCap = o.QueueCap
+	chanCap := o.QueueCap
+	if len(pending) > chanCap {
+		chanCap = len(pending)
+	}
+	m.queue = make(chan *Job, chanCap)
+	for _, j := range pending {
+		m.queue <- j
+		m.queuedLen++
 	}
 	for i := 0; i < o.Workers; i++ {
 		m.slots <- struct{}{}
@@ -267,6 +346,155 @@ func NewManagerOpts(o Options) *Manager {
 	m.wg.Add(1)
 	go m.dispatch()
 	return m
+}
+
+// recoverFromStore rebuilds the job table from the data dir: terminal
+// jobs come back as read-only history; interrupted ones (queued,
+// running or paused at the time of death) are re-queued, resuming from
+// their latest checkpoint when it verifies — a corrupt or missing
+// checkpoint degrades to a clean start from step 0, never a crash.
+// Returns the jobs to prefill the submission queue with.
+func (m *Manager) recoverFromStore() []*Job {
+	ids, err := m.store.Jobs()
+	if err != nil {
+		m.metrics.StoreErrors.Add(1)
+		return nil
+	}
+	var pending []*Job
+	for _, id := range ids {
+		// Keep new submissions' IDs above everything ever journaled.
+		if n, ok := jobIDNumber(id); ok && n > m.nextID {
+			m.nextID = n
+		}
+		raw, err := m.store.Spec(id)
+		if err != nil {
+			m.metrics.StoreErrors.Add(1)
+			continue
+		}
+		var spec JobSpec
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			m.metrics.StoreErrors.Add(1)
+			continue
+		}
+		rec, err := m.store.State(id)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				// A crash between journaling the spec and the state
+				// record: the submitter never got its 201, so this is
+				// a remnant, not a job — drop it.
+				_ = m.store.Remove(id)
+			} else {
+				m.metrics.StoreErrors.Add(1)
+			}
+			continue
+		}
+		j := &Job{
+			ID:        id,
+			Spec:      spec.withDefaults(),
+			ctrl:      steering.NewController(),
+			created:   rec.CreatedAt,
+			recovered: true,
+			restarts:  rec.Restarts,
+			snapCh:    make(chan struct{}),
+		}
+		if st := JobState(rec.State); st.Terminal() {
+			j.step.Store(int64(rec.Step))
+			j.state = st
+			j.errMsg = rec.Error
+			j.started = rec.StartedAt
+			j.finished = rec.FinishedAt
+			j.ctrl.Close()
+			j.sealSnapshots()
+		} else {
+			j.state = StateQueued
+			j.restarts++
+			// Verify the checkpoint now but keep only its step — the
+			// bytes are re-read at dispatch, so a crash with a big
+			// backlog doesn't hold every solver state in memory while
+			// jobs wait for a slot. The step doubles as the reported
+			// progress; without a usable checkpoint it stays 0 so the
+			// step counter never runs backwards once the re-run starts.
+			if _, step, err := m.store.Checkpoint(id); err == nil {
+				j.resumeStep = step
+				j.step.Store(int64(step))
+			} else if !errors.Is(err, fs.ErrNotExist) {
+				// Interrupted before its first checkpoint is normal;
+				// anything else is a corrupt file we fall back from.
+				m.metrics.CheckpointsInvalid.Add(1)
+			}
+			m.metrics.JobRestarts.Add(1)
+			pending = append(pending, j)
+		}
+		m.jobs[id] = j
+		m.order = append(m.order, id)
+		m.metrics.JobsRecovered.Add(1)
+	}
+	// Journal the re-queued records (restart count, queued state) so a
+	// crash during recovery itself still counts the attempt.
+	for _, j := range pending {
+		m.persistState(j)
+	}
+	return pending
+}
+
+// jobIDNumber extracts the numeric suffix of a "job-NNNN" ID.
+func jobIDNumber(id string) (int64, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// recordLocked builds the persisted lifecycle record. Caller holds
+// j.mu (or has exclusive access to a job not yet published).
+func (j *Job) recordLocked() store.JobRecord {
+	return store.JobRecord{
+		ID:         j.ID,
+		State:      string(j.state),
+		Error:      j.errMsg,
+		Step:       int(j.step.Load()),
+		Restarts:   j.restarts,
+		CreatedAt:  j.created,
+		StartedAt:  j.started,
+		FinishedAt: j.finished,
+	}
+}
+
+// persistState journals the job's current lifecycle record,
+// best-effort: a failed write is counted, not fatal — the run itself
+// must not die because the disk hiccuped. journalMu makes record
+// build + write atomic against other journal writers, so records land
+// in build order and the last write always reflects the newest state.
+func (m *Manager) persistState(j *Job) {
+	if m.store == nil {
+		return
+	}
+	j.journalMu.Lock()
+	defer j.journalMu.Unlock()
+	j.mu.Lock()
+	rec := j.recordLocked()
+	j.mu.Unlock()
+	if err := m.store.PutState(j.ID, rec); err != nil {
+		m.metrics.StoreErrors.Add(1)
+	}
+}
+
+// checkpointCadence resolves a spec's effective checkpoint cadence:
+// 0 = daemon default, -1 = off, otherwise the spec's own value; always
+// 0 (off) without a store.
+func (m *Manager) checkpointCadence(sp JobSpec) int {
+	if m.store == nil || sp.CheckpointEvery < 0 {
+		return 0
+	}
+	if sp.CheckpointEvery > 0 {
+		return sp.CheckpointEvery
+	}
+	return m.ckptEvery
 }
 
 // Metrics exposes the counter set shared with the HTTP layer.
@@ -289,6 +517,11 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		m.metrics.JobsRejected.Add(1)
 		return nil, ErrClosed
 	}
+	if m.queuedLen >= m.queueCap {
+		m.mu.Unlock()
+		m.metrics.JobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
 	m.nextID++
 	j := &Job{
 		ID:      fmt.Sprintf("job-%04d", m.nextID),
@@ -298,15 +531,46 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		created: time.Now(),
 		snapCh:  make(chan struct{}),
 	}
-	if m.queuedLen >= cap(m.queue) {
-		m.nextID--
-		m.mu.Unlock()
-		m.metrics.JobsRejected.Add(1)
-		return nil, ErrQueueFull
-	}
-	// queuedLen < cap implies channel occupancy < cap: never blocks.
-	m.queue <- j
+	// Reserve the queue slot, then journal outside the lock: the
+	// fsync-backed writes must not stall every other API call behind
+	// m.mu. The reservation keeps occupancy <= queuedLen, so the later
+	// channel send can never block; a failed journal releases it (the
+	// burned job ID just leaves a harmless numbering gap).
 	m.queuedLen++
+	m.mu.Unlock()
+	// Journal before accepting: once Submit returns 201, the job must
+	// survive a crash, so a spec that cannot be journaled is rejected.
+	if m.store != nil {
+		err := m.store.PutSpec(j.ID, j.Spec)
+		if err == nil {
+			err = m.store.PutState(j.ID, j.recordLocked())
+		}
+		if err != nil {
+			m.mu.Lock()
+			m.queuedLen--
+			m.mu.Unlock()
+			// Best-effort undo of whatever half got journaled, or the
+			// next boot would resurrect a job nobody was promised.
+			_ = m.store.Remove(j.ID)
+			m.metrics.StoreErrors.Add(1)
+			m.metrics.JobsRejected.Add(1)
+			return nil, fmt.Errorf("%w: journal submit: %v", ErrInternal, err)
+		}
+	}
+	m.mu.Lock()
+	if m.closed {
+		// Closed while journaling: the queue channel is gone. Undo the
+		// journal too — the caller gets ErrClosed, so the job must not
+		// come back from the store on the next boot.
+		m.queuedLen--
+		m.mu.Unlock()
+		if m.store != nil {
+			_ = m.store.Remove(j.ID)
+		}
+		m.metrics.JobsRejected.Add(1)
+		return nil, ErrClosed
+	}
+	m.queue <- j
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j.ID)
 	m.mu.Unlock()
@@ -386,6 +650,7 @@ func (m *Manager) run(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.mu.Unlock()
+	m.persistState(j)
 
 	cfg, err := j.Spec.coreConfig()
 	if err != nil {
@@ -397,6 +662,46 @@ func (m *Manager) run(j *Job) {
 	cfg.OnSnapshot = func(s *core.Snapshot) {
 		m.metrics.SnapshotsTotal.Add(1)
 		j.publishSnapshot(s)
+	}
+	if every := m.checkpointCadence(j.Spec); every > 0 {
+		cfg.CheckpointEvery = every
+		id := j.ID
+		// Synchronous by design: a checkpoint that hasn't hit disk
+		// protects nothing, so the solver pays the write at cadence.
+		cfg.OnCheckpoint = func(step int, data []byte) {
+			if err := m.store.PutCheckpoint(id, data); err != nil {
+				m.metrics.StoreErrors.Add(1)
+				return
+			}
+			m.metrics.CheckpointsWritten.Add(1)
+			m.metrics.CheckpointBytes.Add(int64(len(data)))
+		}
+	}
+	// A recovered job resumes from its journaled checkpoint, re-read
+	// and decoded (one full parse, CRC included) now that the job
+	// actually dispatches; the run loop validates the decoded state
+	// against the domain and counts steps onward. A checkpoint that
+	// stopped verifying since recovery degrades to a fresh start,
+	// like any other corruption.
+	j.mu.Lock()
+	resumeStep := j.resumeStep
+	j.mu.Unlock()
+	if resumeStep > 0 {
+		if st, err := m.store.CheckpointState(j.ID); err == nil {
+			cfg.Restore = st
+			if st.Info.Step != resumeStep {
+				j.mu.Lock()
+				j.resumeStep = st.Info.Step
+				j.mu.Unlock()
+				j.step.Store(int64(st.Info.Step))
+			}
+		} else {
+			m.metrics.CheckpointsInvalid.Add(1)
+			j.mu.Lock()
+			j.resumeStep = 0
+			j.mu.Unlock()
+			j.step.Store(0)
+		}
 	}
 	sim, err := core.New(cfg)
 	if err != nil {
@@ -432,7 +737,14 @@ func (m *Manager) finish(j *Job, runErr error, completed bool) {
 		j.state = StateDone
 		m.metrics.JobsDone.Add(1)
 	}
+	// A cancel that Close issued while draining is an interruption,
+	// not an outcome: leaving the store's record at running/paused is
+	// exactly what re-queues the job on the next boot.
+	skipJournal := j.shutdownCancel && j.state == StateCancelled
 	j.mu.Unlock()
+	if !skipJournal {
+		m.persistState(j)
+	}
 	m.cache.InvalidateJob(j.ID)
 	// Seal after the terminal state is visible: a subscriber woken by
 	// the seal must observe Terminal() and end its stream.
@@ -470,6 +782,7 @@ func (m *Manager) Pause(j *Job) error {
 	j.mu.Unlock()
 	if freeSlot {
 		m.releaseJobSlot(j)
+		m.persistState(j)
 	}
 	return nil
 }
@@ -494,9 +807,11 @@ func (m *Manager) Resume(ctx context.Context, j *Job) error {
 	}
 	_, err := m.do(j, steering.ClientMsg{Op: steering.OpResume})
 	granted := false
+	resumed := false
 	j.mu.Lock()
 	if err == nil && j.state == StatePaused {
 		j.state = StateRunning
+		resumed = true
 	}
 	if needSlot && err == nil && j.state == StateRunning && !j.holdsSlot {
 		j.holdsSlot = true
@@ -506,12 +821,25 @@ func (m *Manager) Resume(ctx context.Context, j *Job) error {
 	if needSlot && !granted {
 		m.slots <- struct{}{}
 	}
+	if resumed {
+		m.persistState(j)
+	}
 	return err
 }
 
-// Cancel terminates a job in any non-terminal state.
-func (m *Manager) Cancel(j *Job) error {
+// Cancel terminates a job in any non-terminal state. This is the
+// user-facing path: the cancelled outcome is journaled, overriding a
+// concurrent shutdown's intent to keep the job resumable — once the
+// caller is told "cancelled", the job must not resurrect.
+func (m *Manager) Cancel(j *Job) error { return m.cancel(j, true) }
+
+func (m *Manager) cancel(j *Job, user bool) error {
 	j.mu.Lock()
+	if user {
+		// A shutdown may already have marked this job for the
+		// journal-skipping cancel; the explicit user decision wins.
+		j.shutdownCancel = false
+	}
 	switch {
 	case j.state.Terminal():
 		j.mu.Unlock()
@@ -520,8 +848,14 @@ func (m *Manager) Cancel(j *Job) error {
 		// The dispatcher will observe the state and skip the run.
 		j.state = StateCancelled
 		j.finished = time.Now()
+		// Same rule as finish: a shutdown-induced cancel keeps the
+		// store's queued record so the job comes back on reboot.
+		skipJournal := j.shutdownCancel
 		j.mu.Unlock()
 		m.metrics.JobsCancelled.Add(1)
+		if !skipJournal {
+			m.persistState(j)
+		}
 		j.ctrl.Close()
 		j.sealSnapshots()
 		m.cache.InvalidateJob(j.ID)
@@ -649,9 +983,18 @@ func (m *Manager) Close() {
 	close(m.queue)
 	m.mu.Unlock()
 	for _, j := range jobs {
-		if !j.State().Terminal() {
-			_ = m.Cancel(j)
+		if j.State().Terminal() {
+			continue
 		}
+		// Mark the cancel as shutdown-induced so the store keeps the
+		// job's interrupted (running/paused/queued) record and the
+		// next boot resumes it from its latest checkpoint. A cancel
+		// requested by a user — before Close or racing the drain —
+		// clears the mark and journals its terminal state.
+		j.mu.Lock()
+		j.shutdownCancel = !j.cancelRequested
+		j.mu.Unlock()
+		_ = m.cancel(j, false)
 	}
 	m.wg.Wait()
 	m.pool.Close()

@@ -38,6 +38,20 @@ type Metrics struct {
 	// FramesStreamed counts frame events pushed to them.
 	StreamClients  atomic.Int64
 	FramesStreamed atomic.Int64
+	// Durability counters. CheckpointsWritten/CheckpointBytes track
+	// solver checkpoints journaled to the data dir; CheckpointsInvalid
+	// counts checkpoints that failed CRC/format verification at
+	// recovery (each one degraded a resume to a fresh start).
+	// JobsRecovered counts jobs reloaded from the store at boot (both
+	// finished history and re-queued work); JobRestarts counts only
+	// the re-queued interrupted ones. StoreErrors counts failed store
+	// writes/reads (journaling is best-effort past submission).
+	CheckpointsWritten atomic.Int64
+	CheckpointBytes    atomic.Int64
+	CheckpointsInvalid atomic.Int64
+	JobsRecovered      atomic.Int64
+	JobRestarts        atomic.Int64
+	StoreErrors        atomic.Int64
 }
 
 // RecordFrameLatency folds one pool render duration into the latency
@@ -73,6 +87,12 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"hemeserved_frame_latency_ns_count", m.FrameLatencyCount.Load()},
 		{"hemeserved_stream_clients", m.StreamClients.Load()},
 		{"hemeserved_frames_streamed_total", m.FramesStreamed.Load()},
+		{"hemeserved_checkpoints_written_total", m.CheckpointsWritten.Load()},
+		{"hemeserved_checkpoint_bytes_total", m.CheckpointBytes.Load()},
+		{"hemeserved_checkpoints_invalid_total", m.CheckpointsInvalid.Load()},
+		{"hemeserved_jobs_recovered_total", m.JobsRecovered.Load()},
+		{"hemeserved_job_restarts_total", m.JobRestarts.Load()},
+		{"hemeserved_store_errors_total", m.StoreErrors.Load()},
 	} {
 		n, err := fmt.Fprintf(w, "%s %d\n", c.name, c.v)
 		total += int64(n)

@@ -43,6 +43,12 @@ type JobSpec struct {
 	// omitted) means the default of 16; -1 disables snapshots — frames
 	// then render inside the solver loop via the steering path.
 	SnapshotEvery int `json:"snapshot_every,omitempty"`
+	// CheckpointEvery writes a durable solver checkpoint every N steps
+	// when the daemon runs with a data dir. 0 (or omitted) means the
+	// daemon's default cadence (-checkpoint-every, 64 unless changed);
+	// -1 disables checkpointing for this job — after a restart it
+	// re-runs from step 0. Ignored entirely without a data dir.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 	// PulseAmp/PulsePeriod drive the cardiac inlet waveform.
 	PulseAmp    float64 `json:"pulse_amp,omitempty"`
 	PulsePeriod float64 `json:"pulse_period,omitempty"`
@@ -118,6 +124,9 @@ func (sp JobSpec) Validate() error {
 	}
 	if sp.SnapshotEvery < -1 {
 		return fmt.Errorf("service: snapshot_every %d invalid (N steps, 0 = default, -1 = off)", sp.SnapshotEvery)
+	}
+	if sp.CheckpointEvery < -1 {
+		return fmt.Errorf("service: checkpoint_every %d invalid (N steps, 0 = default, -1 = off)", sp.CheckpointEvery)
 	}
 	return nil
 }

@@ -1,0 +1,297 @@
+// Package store is the durability layer under the job manager: a
+// per-job directory of small files — the submitted spec, the latest
+// lifecycle record, and the most recent solver checkpoint — written so
+// that a daemon killed at any instant restarts with nothing lost but
+// the steps since the last checkpoint.
+//
+// Layout under the root ("data dir"):
+//
+//	jobs/<id>/spec.json       the JobSpec as accepted (defaults applied)
+//	jobs/<id>/state.json      lifecycle record (state, timestamps, restarts)
+//	jobs/<id>/checkpoint.bin  latest lb checkpoint (docs/CHECKPOINT_FORMAT.md)
+//
+// Every write goes to a temp file in the same directory, is fsynced,
+// is atomically renamed over the target, and the directory entries
+// are fsynced too — a crash (or power loss) leaves either the old
+// file or the new one, never a torn mix or a vanished rename. Every
+// load is
+// CRC-verified: the JSON files carry a CRC64-ECMA trailer line this
+// package adds and strips; the checkpoint carries its own CRC inside
+// the lb format, checked via lb.VerifyCheckpoint.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/lb"
+)
+
+const (
+	specFile       = "spec.json"
+	stateFile      = "state.json"
+	checkpointFile = "checkpoint.bin"
+)
+
+// crcTrailerPrefix introduces the integrity trailer appended to JSON
+// files: "\n#crc64:<16 hex digits>\n" over everything before it.
+const crcTrailerPrefix = "\n#crc64:"
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// JobRecord is the persisted lifecycle state of one job — everything
+// the manager needs to rebuild its bookkeeping after a restart, apart
+// from the spec (its own file) and the solver state (the checkpoint).
+type JobRecord struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Step is the last solver step known at the time of the write;
+	// the checkpoint, not this, decides where a resume starts.
+	Step int `json:"step,omitempty"`
+	// Restarts counts how many times the job has been re-queued after
+	// a daemon restart interrupted it.
+	Restarts   int       `json:"restarts,omitempty"`
+	CreatedAt  time.Time `json:"created_at"`
+	StartedAt  time.Time `json:"started_at,omitempty"`
+	FinishedAt time.Time `json:"finished_at,omitempty"`
+}
+
+// Store persists job specs, lifecycle records and checkpoints under
+// one root directory. Methods are safe for concurrent use; writes to
+// different jobs never contend beyond a short mutex hold.
+type Store struct {
+	root string
+
+	mu     sync.Mutex
+	frozen bool
+}
+
+// Open creates (if needed) and returns a store rooted at dir. Orphan
+// temp files a crash left mid-write are swept here — they are the one
+// kind of remnant atomic renames cannot clean up by construction.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty root directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if stale, err := filepath.Glob(filepath.Join(dir, "jobs", "*", "*.tmp-*")); err == nil {
+		for _, path := range stale {
+			os.Remove(path)
+		}
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the data directory the store was opened on.
+func (s *Store) Root() string { return s.root }
+
+// Freeze makes every subsequent write a silent no-op, simulating the
+// process dying at this instant (SIGKILL leaves the files exactly as
+// the last completed atomic rename did). Crash-injection hook for
+// durability tests; reads keep working.
+func (s *Store) Freeze() {
+	s.mu.Lock()
+	s.frozen = true
+	s.mu.Unlock()
+}
+
+func (s *Store) jobDir(id string) string {
+	return filepath.Join(s.root, "jobs", id)
+}
+
+// Jobs lists the IDs present in the store, sorted.
+func (s *Store) Jobs() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// PutSpec journals the accepted spec (any JSON-marshalable value).
+func (s *Store) PutSpec(id string, spec any) error {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("store: marshal spec: %w", err)
+	}
+	return s.putJSON(id, specFile, data)
+}
+
+// Spec loads the raw spec JSON for a job.
+func (s *Store) Spec(id string) (json.RawMessage, error) {
+	return s.getJSON(id, specFile)
+}
+
+// PutState journals the lifecycle record.
+func (s *Store) PutState(id string, rec JobRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: marshal state: %w", err)
+	}
+	return s.putJSON(id, stateFile, data)
+}
+
+// State loads the lifecycle record for a job.
+func (s *Store) State(id string) (JobRecord, error) {
+	data, err := s.getJSON(id, stateFile)
+	if err != nil {
+		return JobRecord{}, err
+	}
+	var rec JobRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return JobRecord{}, fmt.Errorf("store: state for %s: %w", id, err)
+	}
+	return rec, nil
+}
+
+// PutCheckpoint atomically replaces the job's checkpoint with data (a
+// serialized lb checkpoint stream, which carries its own CRC).
+func (s *Store) PutCheckpoint(id string, data []byte) error {
+	return s.atomicWrite(id, checkpointFile, data)
+}
+
+// Checkpoint loads and fully verifies the job's latest checkpoint,
+// returning the stream and the solver step it captures. A missing,
+// truncated or corrupt file is an error — the caller falls back to a
+// fresh start from step 0.
+func (s *Store) Checkpoint(id string) ([]byte, int, error) {
+	data, err := os.ReadFile(filepath.Join(s.jobDir(id), checkpointFile))
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	info, err := lb.VerifyCheckpointBytes(data)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: checkpoint for %s: %w", id, err)
+	}
+	return data, info.Step, nil
+}
+
+// CheckpointState loads and decodes the job's latest checkpoint in a
+// single pass (shape-vs-length fail-fast, CRC inside the decode). The
+// dispatch-time form of Checkpoint — the caller wants the installed
+// state, not the bytes, and resume then costs one full parse, not two.
+func (s *Store) CheckpointState(id string) (*lb.CheckpointState, error) {
+	data, err := os.ReadFile(filepath.Join(s.jobDir(id), checkpointFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	st, err := lb.DecodeCheckpointBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: checkpoint for %s: %w", id, err)
+	}
+	return st, nil
+}
+
+// Remove deletes a job's directory — the undo for a submission that
+// was journaled but ultimately not accepted, or for a remnant of a
+// submission that never completed. Frozen stores no-op.
+func (s *Store) Remove(id string) error {
+	s.mu.Lock()
+	frozen := s.frozen
+	s.mu.Unlock()
+	if frozen {
+		return nil
+	}
+	if err := os.RemoveAll(s.jobDir(id)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return syncDir(filepath.Join(s.root, "jobs"))
+}
+
+// putJSON appends the CRC trailer and writes atomically.
+func (s *Store) putJSON(id, name string, payload []byte) error {
+	trailer := fmt.Sprintf("%s%016x\n", crcTrailerPrefix, crc64.Checksum(payload, crcTable))
+	return s.atomicWrite(id, name, append(payload, trailer...))
+}
+
+// getJSON reads a JSON file, verifies and strips the CRC trailer.
+func (s *Store) getJSON(id, name string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(s.jobDir(id), name))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	at := bytes.LastIndex(data, []byte(crcTrailerPrefix))
+	if at < 0 {
+		return nil, fmt.Errorf("store: %s/%s: missing integrity trailer", id, name)
+	}
+	payload := data[:at]
+	var want uint64
+	if _, err := fmt.Sscanf(string(data[at+len(crcTrailerPrefix):]), "%016x", &want); err != nil {
+		return nil, fmt.Errorf("store: %s/%s: bad integrity trailer", id, name)
+	}
+	if got := crc64.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("store: %s/%s corrupt (crc %#x, want %#x)", id, name, got, want)
+	}
+	return payload, nil
+}
+
+// atomicWrite writes data to jobs/<id>/<name> via temp file + fsync +
+// rename, creating the job directory on first use.
+func (s *Store) atomicWrite(id, name string, data []byte) error {
+	s.mu.Lock()
+	frozen := s.frozen
+	s.mu.Unlock()
+	if frozen {
+		return nil
+	}
+	dir := s.jobDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// The rename (and, on first write, the job directory itself) lives
+	// in the directory entries: without syncing them a power loss can
+	// forget a journaled file whose data blocks were safely on disk.
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(dir))
+}
+
+// syncDir fsyncs a directory's entries.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync %s: %w", dir, err)
+	}
+	return nil
+}

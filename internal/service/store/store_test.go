@@ -1,0 +1,197 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geometry"
+	"repro/internal/lattice"
+	"repro/internal/lb"
+)
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSpecAndStateRoundTrip(t *testing.T) {
+	s := open(t)
+	type spec struct {
+		Preset string `json:"preset"`
+		Steps  int    `json:"steps"`
+	}
+	if err := s.PutSpec("job-0001", spec{"pipe", 500}); err != nil {
+		t.Fatal(err)
+	}
+	rec := JobRecord{
+		ID: "job-0001", State: "running", Restarts: 2,
+		CreatedAt: time.Now().UTC().Truncate(time.Second),
+	}
+	if err := s.PutState("job-0001", rec); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := s.Spec("job-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"pipe"`) {
+		t.Errorf("spec payload = %s", raw)
+	}
+	got, err := s.State("job-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != "running" || got.Restarts != 2 || !got.CreatedAt.Equal(rec.CreatedAt) {
+		t.Errorf("state round trip = %+v", got)
+	}
+	ids, err := s.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "job-0001" {
+		t.Errorf("Jobs() = %v", ids)
+	}
+}
+
+func TestJSONCorruptionDetected(t *testing.T) {
+	s := open(t)
+	if err := s.PutState("j", JobRecord{ID: "j", State: "queued"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Root(), "jobs", "j", "state.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte: the CRC trailer must catch it.
+	data[2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.State("j"); err == nil {
+		t.Error("corrupt state.json accepted")
+	}
+	// Strip the trailer entirely: also rejected.
+	clean := data[:bytes.LastIndex(data, []byte(crcTrailerPrefix))]
+	if err := os.WriteFile(path, clean, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.State("j"); err == nil {
+		t.Error("trailer-less state.json accepted")
+	}
+}
+
+func checkpointBytes(t *testing.T) []byte {
+	t.Helper()
+	v := geometry.Pipe(12, 3)
+	dom, err := geometry.Voxelise(v, 1.0, lattice.D3Q19())
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := lb.New(dom, lb.Params{Tau: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver.Advance(17)
+	var buf bytes.Buffer
+	if err := solver.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckpointRoundTripAndCorruption(t *testing.T) {
+	s := open(t)
+	data := checkpointBytes(t)
+	if err := s.PutCheckpoint("j", data); err != nil {
+		t.Fatal(err)
+	}
+	got, step, err := s.Checkpoint("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 17 || !bytes.Equal(got, data) {
+		t.Fatalf("checkpoint round trip: step=%d, equal=%v", step, bytes.Equal(got, data))
+	}
+	// Corrupt the file on disk: load must fail, not return bad state.
+	path := filepath.Join(s.Root(), "jobs", "j", "checkpoint.bin")
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Checkpoint("j"); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+	if _, _, err := s.Checkpoint("missing"); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+}
+
+func TestFreezeDropsWrites(t *testing.T) {
+	s := open(t)
+	if err := s.PutState("j", JobRecord{ID: "j", State: "running"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Freeze()
+	if err := s.PutState("j", JobRecord{ID: "j", State: "cancelled"}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.State("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != "running" {
+		t.Errorf("frozen store mutated state to %q", rec.State)
+	}
+}
+
+func TestOpenSweepsOrphanTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutState("j", JobRecord{ID: "j", State: "running"}); err != nil {
+		t.Fatal(err)
+	}
+	// Fake a crash mid-write: an orphaned temp file next to real data.
+	orphan := filepath.Join(dir, "jobs", "j", "checkpoint.bin.tmp-123")
+	if err := os.WriteFile(orphan, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphan temp file survived reopen")
+	}
+	if _, err := s.State("j"); err != nil {
+		t.Errorf("sweep damaged real data: %v", err)
+	}
+}
+
+func TestAtomicWriteLeavesNoTempFiles(t *testing.T) {
+	s := open(t)
+	for i := 0; i < 5; i++ {
+		if err := s.PutCheckpoint("j", []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(filepath.Join(s.Root(), "jobs", "j"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
