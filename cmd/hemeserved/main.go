@@ -35,6 +35,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,8 +55,18 @@ func main() {
 	cacheEntries := flag.Int("cache", 0, "frame cache capacity in entries (0 = 512)")
 	dataDir := flag.String("data-dir", "", "durable job store directory (empty = in-memory only)")
 	checkpointEvery := flag.Int("checkpoint-every", 64, "default checkpoint cadence in steps for jobs that leave checkpoint_every at 0 (-1 = no default; jobs may still opt in)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it on loopback)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown window")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Opt-in profiling endpoint, separate from the API listener so
+		// operators can firewall it independently.
+		go func() {
+			fmt.Fprintln(os.Stderr, "hemeserved: pprof:", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		fmt.Printf("hemeserved: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	var st *store.Store
 	if *dataDir != "" {

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// compareSpec names, for one report section, the fields identifying a
+// row and the headline metric to delta. Sections absent from either
+// file are skipped, so partial runs (-pre=false etc.) compare cleanly.
+type compareSpec struct {
+	section string
+	keys    []string
+	metric  string
+}
+
+// compareSpecs covers every section scalebench emits; the metric is
+// the one each sweep exists to move.
+var compareSpecs = []compareSpec{
+	{"strong", []string{"ranks"}, "sites_per_sec"},
+	{"weak", []string{"ranks"}, "sites_per_sec"},
+	{"gmy_read", []string{"readers"}, "wall_ns"},
+	{"partitioners", []string{"method"}, "wall_ns"},
+	{"repartition", []string{"alpha"}, "imbalance_after"},
+	{"multires", []string{"label"}, "bytes"},
+	{"stream", []string{"subscribers"}, "steps_per_sec"},
+	{"jobs", []string{"persist", "jobs"}, "jobs_per_sec"},
+}
+
+// compareReports prints per-benchmark deltas between two -json result
+// files — the trajectory check the BENCH_*.json series exists for.
+func compareReports(oldPath, newPath string, w io.Writer) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	for _, spec := range compareSpecs {
+		oldRows, okO := sectionRows(oldRep, spec.section)
+		newRows, okN := sectionRows(newRep, spec.section)
+		if !okO || !okN {
+			continue
+		}
+		byKey := make(map[string]map[string]any, len(oldRows))
+		for _, r := range oldRows {
+			byKey[rowKey(r, spec.keys)] = r
+		}
+		header := false
+		for _, nr := range newRows {
+			key := rowKey(nr, spec.keys)
+			or, ok := byKey[key]
+			if !ok {
+				continue
+			}
+			ov, okO := rowMetric(or, spec.metric)
+			nv, okN := rowMetric(nr, spec.metric)
+			if !okO || !okN {
+				continue
+			}
+			if !header {
+				fmt.Fprintf(w, "== %s (%s) ==\n", spec.section, spec.metric)
+				header = true
+			}
+			delta := "n/a"
+			if ov != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+			}
+			fmt.Fprintf(w, "%-24s  %14.6g  ->  %14.6g  %s\n", key, ov, nv, delta)
+		}
+	}
+	return nil
+}
+
+func loadReport(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scalebench: %w", err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("scalebench: %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func sectionRows(rep map[string]any, section string) ([]map[string]any, bool) {
+	raw, ok := rep[section].([]any)
+	if !ok {
+		return nil, false
+	}
+	rows := make([]map[string]any, 0, len(raw))
+	for _, r := range raw {
+		if m, ok := r.(map[string]any); ok {
+			rows = append(rows, m)
+		}
+	}
+	return rows, len(rows) > 0
+}
+
+func rowKey(row map[string]any, keys []string) string {
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, row[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func rowMetric(row map[string]any, metric string) (float64, bool) {
+	v, ok := row[metric].(float64)
+	return v, ok
+}

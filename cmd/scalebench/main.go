@@ -110,8 +110,21 @@ func main() {
 	pre := flag.Bool("pre", true, "also run pre-processing sweeps (E8/E9/E10)")
 	stream := flag.Bool("stream", true, "also run the service frame-streaming sweep")
 	jobs := flag.Bool("jobs", true, "also run the service jobs-throughput sweep (with/without persistence)")
+	jobsBatches := flag.String("jobs-batches", "", "comma-separated batch sizes for the jobs sweep (empty = 4,16,64; small values make a CI-sized smoke run)")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file (\"-\" = stdout)")
+	compare := flag.Bool("compare", false, "compare two -json result files: scalebench -compare old.json new.json")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "scalebench: -compare wants exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareReports(flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	var ranks []int
 	for _, s := range strings.Split(*ranksFlag, ",") {
@@ -121,6 +134,17 @@ func main() {
 			os.Exit(2)
 		}
 		ranks = append(ranks, v)
+	}
+	var batches []int
+	if *jobsBatches != "" {
+		for _, s := range strings.Split(*jobsBatches, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v <= 0 {
+				fmt.Fprintln(os.Stderr, "scalebench: bad jobs batch size:", s)
+				os.Exit(2)
+			}
+			batches = append(batches, v)
+		}
 	}
 	cfg := experiments.ScalingConfig{RankCounts: ranks, Steps: *steps, Scale: *scale}
 
@@ -226,7 +250,7 @@ func main() {
 	if *jobs {
 		fmt.Println()
 		fmt.Println("== service: jobs throughput (durable vs in-memory) ==")
-		jrows, err := experiments.JobsThroughput(nil)
+		jrows, err := experiments.JobsThroughput(batches)
 		if err != nil {
 			fail(err)
 		}

@@ -73,14 +73,30 @@ type Config struct {
 	// SnapshotEvery is the snapshot cadence in steps; 0 disables
 	// publication entirely.
 	SnapshotEvery int
-	// OnCheckpoint, when set together with CheckpointEvery > 0,
-	// receives on rank 0 a serialized solver checkpoint (the
-	// docs/CHECKPOINT_FORMAT.md stream) every CheckpointEvery steps.
-	// The gather is collective and the hook runs on the solver's
-	// critical path, so a durable sink should write synchronously only
-	// if it accepts the stall — the job store does, by design: a
-	// checkpoint that hasn't hit disk protects nothing.
-	OnCheckpoint func(step int, data []byte)
+	// SnapshotInterest, when set, makes in-loop snapshot publication
+	// demand-driven: it is polled on rank 0 at each cadence boundary
+	// and must report (cheaply, without blocking) whether any consumer
+	// has asked for a fresh snapshot since the last publication. A
+	// false answer skips the collective gather entirely, and repeated
+	// false answers back the polling off to up to 8× SnapshotEvery —
+	// a job nobody watches does no snapshot work at all. Rank 0
+	// broadcasts each decision, so the skip stays collective. During
+	// back-off the hook is additionally probed at each steering
+	// boundary (riding the command broadcast that happens anyway), so
+	// a viewer returning to a long-idle job pulls publication forward
+	// instead of waiting out the back-off. The final end-of-run
+	// snapshot is still published unconditionally: late joiners (and
+	// post-mortem frame requests) always find the end state. Nil
+	// preserves the fixed-cadence behaviour.
+	SnapshotInterest func() bool
+	// Checkpoint, when set together with CheckpointEvery > 0, receives
+	// on rank 0 the gathered solver state every CheckpointEvery steps.
+	// Only the collective gather runs on the solver's critical path:
+	// TakeBuffer/Deliver are O(1) buffer swaps, and the sink's own
+	// goroutine does the encoding, CRC and fsync concurrently with the
+	// next steps (see service's async checkpoint writer). The sink must
+	// drain on shutdown so the last delivered state still hits disk.
+	Checkpoint CheckpointSink
 	// CheckpointEvery is the checkpoint cadence in steps; 0 disables.
 	CheckpointEvery int
 	// Restore, when set, holds a decoded checkpoint the run resumes
@@ -265,6 +281,17 @@ func (s *Simulation) Run(totalSteps int) error {
 		// lastSnapStep is per-rank local but evolves identically on
 		// every rank, keeping snapshot gathers collective.
 		lastSnapStep := -1
+		snapEnabled := cfg.SnapshotEvery > 0 && cfg.OnSnapshot != nil
+		// nextSnapCheck is the next step at which snapshot publication
+		// is (re)considered; with SnapshotInterest set it walks away
+		// from the cadence while nobody is watching. Every rank
+		// advances it from broadcast-agreed decisions, so the gathers
+		// stay collective.
+		nextSnapCheck := 0
+		snapIdleStreak := 0
+		if snapEnabled {
+			nextSnapCheck = (startStep/cfg.SnapshotEvery + 1) * cfg.SnapshotEvery
+		}
 		var stepTimer stats.Timer
 
 		for step := startStep; step < totalSteps && !quit; step++ {
@@ -296,20 +323,41 @@ func (s *Simulation) Run(totalSteps int) error {
 			}
 
 			// Snapshot publication (render offload): a collective gather
-			// at a deterministic cadence — every rank computes the same
-			// snapDue from broadcast-synchronised state, so no extra
-			// command round is needed.
-			snapDue := cfg.SnapshotEvery > 0 && cfg.OnSnapshot != nil &&
-				!paused && d.StepCount()%cfg.SnapshotEvery == 0
-			if snapDue {
-				s.publishSnapshot(c, d)
-				lastSnapStep = d.StepCount()
+			// considered at a deterministic schedule. Without a
+			// SnapshotInterest hook the cadence is fixed, as before;
+			// with one, rank 0 decides demand and broadcasts a flag —
+			// the gather only happens when somebody asked since the
+			// last publish, and idle jobs back the checks off.
+			if snapEnabled && !paused && d.StepCount() >= nextSnapCheck {
+				want := 1
+				if cfg.SnapshotInterest != nil {
+					if master && !cfg.SnapshotInterest() {
+						want = 0
+					}
+					want = c.BcastInt(0, want)
+				}
+				if want == 1 {
+					s.publishSnapshot(c, d)
+					lastSnapStep = d.StepCount()
+					snapIdleStreak = 0
+					nextSnapCheck = d.StepCount() + cfg.SnapshotEvery
+				} else {
+					// Idle back-off: successive skips double the wait,
+					// capped at 8× the cadence — bounding both the
+					// interest-poll chatter of an unwatched job and the
+					// first-frame latency of a subscriber arriving
+					// mid-back-off.
+					if snapIdleStreak < 3 {
+						snapIdleStreak++
+					}
+					nextSnapCheck = d.StepCount() + cfg.SnapshotEvery<<snapIdleStreak
+				}
 			}
 
 			// Durable checkpoint at a deterministic cadence: the same
-			// collective-gather pattern as snapshots, feeding the job
-			// store through OnCheckpoint.
-			ckptDue := cfg.CheckpointEvery > 0 && cfg.OnCheckpoint != nil &&
+			// collective-gather pattern as snapshots, feeding the sink's
+			// writer through the buffer-pair swap.
+			ckptDue := cfg.CheckpointEvery > 0 && cfg.Checkpoint != nil &&
 				!paused && d.StepCount()%cfg.CheckpointEvery == 0
 			if ckptDue {
 				s.checkpointDurable(c, d)
@@ -324,11 +372,21 @@ func (s *Simulation) Run(totalSteps int) error {
 			// Rank 0 decides the actions this boundary; others follow.
 			// Command word: [doViz, doQuit, doPause, doResume, ioletIdx+1, density,
 			//                az, el, dist, w, h, mode, scalar,
-			//                doData, roi min xyz, roi max xyz, detail, context]
-			cmd := make([]float64, 22)
+			//                doData, roi min xyz, roi max xyz, detail, context,
+			//                snapPull]
+			cmd := make([]float64, 23)
 			if master {
 				if vizDue {
 					cmd[0] = 1
+				}
+				// While snapshot checks are backed off, piggyback a
+				// demand probe on this boundary's existing broadcast: a
+				// viewer returning to a long-idle job pulls publication
+				// forward to the next steering boundary instead of
+				// waiting out the back-off, at zero extra collectives.
+				if snapEnabled && cfg.SnapshotInterest != nil && !paused &&
+					nextSnapCheck > d.StepCount()+cfg.SnapshotEvery && cfg.SnapshotInterest() {
+					cmd[22] = 1
 				}
 				if s.Ctrl != nil {
 					for {
@@ -420,11 +478,31 @@ func (s *Simulation) Run(totalSteps int) error {
 			if cmd[1] == 1 {
 				quit = true
 			}
-			if cmd[2] == 1 {
+			if cmd[2] == 1 && !paused {
 				paused = true
+				// Entering pause publishes the pause-point state
+				// (collective — every rank applies the same broadcast
+				// command): a parked solver cannot service
+				// demand-driven publication, so its latest snapshot
+				// must already be current for the frames and data
+				// served while paused.
+				if snapEnabled && d.StepCount() != lastSnapStep {
+					s.publishSnapshot(c, d)
+					lastSnapStep = d.StepCount()
+					snapIdleStreak = 0
+					nextSnapCheck = d.StepCount() + cfg.SnapshotEvery
+				}
 			}
 			if cmd[3] == 1 {
 				paused = false
+			}
+			if cmd[22] == 1 && d.StepCount() != lastSnapStep {
+				// Demand probe hit during back-off: publish now and
+				// fall back to the base cadence.
+				s.publishSnapshot(c, d)
+				lastSnapStep = d.StepCount()
+				snapIdleStreak = 0
+				nextSnapCheck = d.StepCount() + cfg.SnapshotEvery
 			}
 			if cmd[4] > 0 {
 				if err := d.SetIoletDensity(int(cmd[4])-1, cmd[5]); err != nil && master {
@@ -456,7 +534,7 @@ func (s *Simulation) Run(totalSteps int) error {
 			if cmd[13] == 1 {
 				// Collective gather of the fields; rank 0 builds the
 				// §V reduced representation and replies.
-				rho, ux, uy, uz := d.GatherFields(0)
+				rho, ux, uy, uz := d.GatherFieldsNoWSS(0)
 				if master {
 					payload, derr := s.reducedData(rho, ux, uy, uz,
 						vec.New(cmd[14], cmd[15], cmd[16]),
@@ -562,6 +640,22 @@ func (s *Simulation) renderDistributed(c *par.Comm, d *lb.Dist, req insitu.Reque
 			return nil
 		}
 		return img
+	case insitu.ModeWall:
+		f.WSS = make([]float64, s.Dom.NumSites())
+		for li, g := range d.Owned {
+			f.WSS[g] = d.WallShearStress(li)
+		}
+		wmax := c.AllreduceScalar(par.OpMax, f.MaxScalar(field.ScalarWSS))
+		if wmax == 0 {
+			wmax = 1e-9
+		}
+		img, err := viz.RenderWallWSSDist(c, f, viz.WallOptions{
+			W: req.W, H: req.H, Camera: cam, TF: render.BlueRed(0, wmax),
+		})
+		if err != nil {
+			return nil
+		}
+		return img
 	default:
 		img, err := viz.RenderVolumeDist(c, f, viz.VolumeOptions{
 			W: req.W, H: req.H, Camera: cam, TF: tf, Scalar: req.Scalar,
@@ -641,30 +735,14 @@ func (s *Simulation) repartition(c *par.Comm, d *lb.Dist, cur *partition.Partiti
 }
 
 // reducedData builds the §V octree over gathered fields and encodes
-// the context+detail cover of the requested ROI.
+// the context+detail cover of the requested ROI (the in-loop steering
+// reply; the HTTP data plane shares QueryReduced over snapshots).
 func (s *Simulation) reducedData(rho, ux, uy, uz []float64, roiMin, roiMax vec.V3, detail, ctx int) ([]byte, error) {
 	tree, err := octree.Build(s.Dom, octree.Fields{Rho: rho, Ux: ux, Uy: uy, Uz: uz})
 	if err != nil {
 		return nil, err
 	}
-	if ctx >= tree.Depth() {
-		ctx = tree.Depth() - 1
-	}
-	if detail < 0 {
-		detail = 0
-	}
-	if detail > ctx {
-		detail = ctx
-	}
-	box := vec.NewBox(roiMin, roiMax)
-	if box.Size().Len2() == 0 {
-		box = vec.NewBox(vec.New(0, 0, 0), s.Dom.Dims.F())
-	}
-	nodes, err := tree.Query(octree.ROI{Box: box, DetailLevel: detail, ContextLevel: ctx})
-	if err != nil {
-		return nil, err
-	}
-	return octree.EncodeNodes(nodes), nil
+	return QueryReduced(tree, s.Dom.Dims.F(), roiMin, roiMax, detail, ctx)
 }
 
 // status assembles the steering status report.

@@ -1,57 +1,107 @@
 package core
 
 import (
-	"bytes"
-	"io"
-
 	"repro/internal/field"
 	"repro/internal/lb"
+	"repro/internal/octree"
 	"repro/internal/par"
+	"repro/internal/vec"
 )
 
 // Snapshot is an immutable copy of the macroscopic fields at one time
 // step, gathered to rank 0 and published through Config.OnSnapshot.
 // The arrays are freshly allocated per snapshot and never written
 // again, so any number of goroutines (render pool workers, stream
-// fan-outs) may read them concurrently while the solver keeps
-// stepping — this is what moves frame production out of the solver
-// loop.
+// fan-outs, octree builders) may read them concurrently while the
+// solver keeps stepping — this is what moves frame production out of
+// the solver loop.
 type Snapshot struct {
 	// Step is the solver step the fields were captured at.
 	Step int
-	// Field carries full-domain rho/ux/uy/uz indexed by global site
-	// id (WSS is not gathered; wall renders need the in situ path).
+	// Field carries full-domain rho/ux/uy/uz/wss indexed by global
+	// site id (WSS is zero away from walls), so wall-mode renders work
+	// on the offload path too.
 	Field *field.Field
+}
+
+// Octree builds the §V multi-resolution tree over the snapshot's
+// fields. Building costs O(sites); callers that answer many queries
+// from one snapshot should memoize the tree per snapshot (the service
+// layer does), turning the data plane into a pure snapshot consumer
+// with no solver-loop involvement.
+func (sn *Snapshot) Octree() (*octree.Tree, error) {
+	f := sn.Field
+	return octree.Build(f.Dom, octree.Fields{Rho: f.Rho, Ux: f.Ux, Uy: f.Uy, Uz: f.Uz})
+}
+
+// QueryReduced encodes the context+detail cover of an ROI from a built
+// octree — the shared §V query path behind both the in-loop steering
+// data reply and the snapshot-served HTTP data plane. A zero-size box
+// means the whole domain; detail/context levels are clamped to the
+// tree.
+func QueryReduced(tree *octree.Tree, dims vec.V3, roiMin, roiMax vec.V3, detail, ctx int) ([]byte, error) {
+	if ctx >= tree.Depth() {
+		ctx = tree.Depth() - 1
+	}
+	if detail < 0 {
+		detail = 0
+	}
+	if detail > ctx {
+		detail = ctx
+	}
+	box := vec.NewBox(roiMin, roiMax)
+	if box.Size().Len2() == 0 {
+		box = vec.NewBox(vec.New(0, 0, 0), dims)
+	}
+	nodes, err := tree.Query(octree.ROI{Box: box, DetailLevel: detail, ContextLevel: ctx})
+	if err != nil {
+		return nil, err
+	}
+	return octree.EncodeNodes(nodes), nil
+}
+
+// CheckpointSink receives gathered solver state for durable
+// checkpointing. Both methods run on rank 0 inside the solver loop and
+// must be O(1) buffer swaps: TakeBuffer hands back a recycled
+// CheckpointState to gather into (nil lets the gather allocate a fresh
+// one — at most two ever exist per sink), Deliver publishes the filled
+// state to the sink's own writer. Everything expensive — encoding,
+// CRC, fsync — happens on that writer, concurrently with the next
+// solver steps. When the run ends, the sink must drain its pending
+// state if that state will ever be read again (a shutdown that
+// re-queues the job); it may discard it otherwise.
+type CheckpointSink interface {
+	TakeBuffer() *lb.CheckpointState
+	Deliver(st *lb.CheckpointState)
 }
 
 // publishSnapshot gathers the global fields (collective — every rank
 // must call it at the same step) and hands rank 0's copy to the
 // OnSnapshot hook.
 func (s *Simulation) publishSnapshot(c *par.Comm, d *lb.Dist) {
-	rho, ux, uy, uz := d.GatherFields(0)
+	rho, ux, uy, uz, wss := d.GatherFields(0)
 	if c.Rank() != 0 {
 		return
 	}
 	s.Cfg.OnSnapshot(&Snapshot{
 		Step:  d.StepCount(),
-		Field: &field.Field{Dom: s.Dom, Rho: rho, Ux: ux, Uy: uy, Uz: uz},
+		Field: &field.Field{Dom: s.Dom, Rho: rho, Ux: ux, Uy: uy, Uz: uz, WSS: wss},
 	})
 }
 
-// checkpointDurable serializes the distributed solver state (collective
-// — every rank must call it at the same step) and hands rank 0's bytes
-// to the OnCheckpoint hook. A serialization failure is swallowed: the
-// run keeps going and the job simply keeps its previous checkpoint.
+// checkpointDurable gathers the solver state (collective — every rank
+// must call it at the same step) into a buffer the sink recycles and
+// hands it straight back. No encoding, CRC or I/O happens here: the
+// in-loop cost is one memory gather, everything else rides the sink's
+// writer goroutine.
 func (s *Simulation) checkpointDurable(c *par.Comm, d *lb.Dist) {
-	var buf bytes.Buffer
-	var w io.Writer
-	if c.Rank() == 0 {
-		w = &buf
+	var buf *lb.CheckpointState
+	master := c.Rank() == 0
+	if master {
+		buf = s.Cfg.Checkpoint.TakeBuffer()
 	}
-	if err := d.Checkpoint(w); err != nil {
-		return
-	}
-	if c.Rank() == 0 {
-		s.Cfg.OnCheckpoint(d.StepCount(), buf.Bytes())
+	st := d.GatherState(buf)
+	if master && st != nil {
+		s.Cfg.Checkpoint.Deliver(st)
 	}
 }

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/steering"
+)
+
+// TestDemandDrivenSnapshotsIdleBackoff: with a SnapshotInterest hook
+// that never reports demand, the run must publish no in-loop snapshots
+// at all (only the unconditional final one) and must back its interest
+// polls off — doubling the gap between checks up to 8× the cadence —
+// instead of asking every cadence forever.
+func TestDemandDrivenSnapshotsIdleBackoff(t *testing.T) {
+	var published []int
+	polls := 0
+	s, err := New(Config{
+		Vessel: geometry.Pipe(16, 3), H: 1, Tau: 0.9,
+		Ranks: 2, VizEvery: 0,
+		SnapshotEvery:    4,
+		OnSnapshot:       func(sn *Snapshot) { published = append(published, sn.Step) },
+		SnapshotInterest: func() bool { polls++; return false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	// Checks land at 4, then back off 8, 16, 32, 32, ... steps:
+	// 4, 12, 28, 60, 92, 124, 156, 188 — eight polls over 200 steps
+	// instead of fifty fixed-cadence gathers.
+	if polls != 8 {
+		t.Errorf("interest polled %d times, want 8 (back-off schedule)", polls)
+	}
+	if len(published) != 1 || published[0] != 200 {
+		t.Errorf("published snapshots at %v, want only the final one at [200]", published)
+	}
+}
+
+// TestDemandDrivenSnapshotsPullForwardDuringBackoff: a viewer arriving
+// while the job is deep in idle back-off must not wait out the
+// backed-off schedule — the per-16-step steering boundary probes the
+// interest latch (riding the command broadcast that happens anyway)
+// and pulls publication forward.
+func TestDemandDrivenSnapshotsPullForwardDuringBackoff(t *testing.T) {
+	ctrl := steering.NewController()
+	defer ctrl.Close()
+	var published []int
+	interested := []bool{false, false, true}
+	polls := 0
+	s, err := New(Config{
+		Vessel: geometry.Pipe(16, 3), H: 1, Tau: 0.9,
+		Ranks: 2, VizEvery: 0,
+		Controller:    ctrl,
+		SnapshotEvery: 8,
+		OnSnapshot:    func(sn *Snapshot) { published = append(published, sn.Step) },
+		SnapshotInterest: func() bool {
+			want := polls < len(interested) && interested[polls]
+			polls++
+			return want
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	// Cadence checks at 8 (no) and 24 (no) push the next check out to
+	// 56 — past the run. Steering boundaries land at completed-step
+	// counts 1, 17, 33, …; the step-33 boundary probes the latch (now
+	// set) and publishes right there, far before the backed-off check;
+	// the final state follows at 40.
+	if len(published) == 0 || published[0] != 33 {
+		t.Errorf("published at %v, want the back-off pull-forward at step 33 first", published)
+	}
+	if len(published) != 2 || published[len(published)-1] != 40 {
+		t.Errorf("published at %v, want [33 40]", published)
+	}
+}
+
+// TestDemandDrivenSnapshotsPublishOnInterest: registered interest is
+// consumed one publication at a time — a single true answer yields a
+// snapshot at the next cadence boundary, and the streak reset means
+// the following check happens one cadence later, not deep into
+// back-off.
+func TestDemandDrivenSnapshotsPublishOnInterest(t *testing.T) {
+	var published []int
+	interested := []bool{true, true, false, true, false, false, false, false, false, false}
+	polls := 0
+	s, err := New(Config{
+		Vessel: geometry.Pipe(16, 3), H: 1, Tau: 0.9,
+		Ranks: 2, VizEvery: 0,
+		SnapshotEvery: 10,
+		OnSnapshot:    func(sn *Snapshot) { published = append(published, sn.Step) },
+		SnapshotInterest: func() bool {
+			want := polls < len(interested) && interested[polls]
+			polls++
+			return want
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	// Polls: 10(yes→publish), 20(yes→publish), 30(no), 50(yes→publish),
+	// 60(no), 80(no), then next check would be 120 — plus the
+	// unconditional final snapshot at 100.
+	want := []int{10, 20, 50, 100}
+	if len(published) != len(want) {
+		t.Fatalf("published at %v, want %v", published, want)
+	}
+	for i, step := range want {
+		if published[i] != step {
+			t.Fatalf("published at %v, want %v", published, want)
+		}
+	}
+	if polls != 6 {
+		t.Errorf("interest polled %d times, want 6", polls)
+	}
+}

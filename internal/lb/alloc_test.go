@@ -1,0 +1,100 @@
+package lb
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/partition"
+)
+
+// TestStepAllocationFlat guards the hot-loop allocation audit: a
+// warmed single-rank Dist must step with zero allocations — the
+// per-step iolet scratch, collision buffers and (at >1 rank) halo
+// transport all reuse state, so steady-state stepping never grows the
+// heap.
+func TestStepAllocationFlat(t *testing.T) {
+	dom := pipeDomain(t, 16, 3, 1.0)
+	part := pipePartition(t, dom, 1, partition.MethodMultilevel)
+	rt := par.NewRuntime(1)
+	rt.Run(func(c *par.Comm) {
+		d, err := NewDist(c, dom, part, Params{Tau: 0.9})
+		if err != nil {
+			panic(err)
+		}
+		d.Advance(4) // warm every lazily grown structure
+		if allocs := testing.AllocsPerRun(50, d.Step); allocs != 0 {
+			t.Errorf("Dist.Step allocates %.1f objects per step, want 0", allocs)
+		}
+	})
+}
+
+// TestGatherStateAllocationFlat: with a recycled CheckpointState and a
+// warmed pack buffer, the in-loop half of an async checkpoint (the
+// collective state gather) must allocate nothing — that is the whole
+// point of the buffer-pair design.
+func TestGatherStateAllocationFlat(t *testing.T) {
+	dom := pipeDomain(t, 16, 3, 1.0)
+	part := pipePartition(t, dom, 1, partition.MethodMultilevel)
+	rt := par.NewRuntime(1)
+	rt.Run(func(c *par.Comm) {
+		d, err := NewDist(c, dom, part, Params{Tau: 0.9})
+		if err != nil {
+			panic(err)
+		}
+		d.Advance(2)
+		st := d.GatherState(nil) // allocates the buffers once
+		if st == nil {
+			panic("rank 0 got no state")
+		}
+		if allocs := testing.AllocsPerRun(20, func() {
+			d.Step()
+			if got := d.GatherState(st); got != st {
+				panic("GatherState did not reuse the provided state")
+			}
+		}); allocs != 0 {
+			t.Errorf("step+gather allocates %.1f objects per cycle, want 0", allocs)
+		}
+	})
+}
+
+// TestMultiRankStepAllocationBounded: across ranks the halo exchange
+// must stay allocation-flat too — transport buffers cycle through the
+// runtime pool, so per-step allocations are a small constant (interface
+// boxing of messages), independent of the site count. An O(sites)
+// regression (e.g. a reintroduced per-send copy) trips the bound by
+// orders of magnitude.
+func TestMultiRankStepAllocationBounded(t *testing.T) {
+	dom := pipeDomain(t, 20, 4, 1.0) // thousands of sites
+	const k = 2
+	part := pipePartition(t, dom, k, partition.MethodMultilevel)
+	rt := par.NewRuntime(k)
+	const steps = 200
+	var perStep float64
+	rt.Run(func(c *par.Comm) {
+		d, err := NewDist(c, dom, part, Params{Tau: 0.9})
+		if err != nil {
+			panic(err)
+		}
+		d.Advance(20) // warm the pool and mailboxes
+		c.Barrier()
+		if c.Rank() == 0 {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			d.Advance(steps)
+			c.Barrier()
+			runtime.ReadMemStats(&after)
+			perStep = float64(after.Mallocs-before.Mallocs) / steps
+		} else {
+			d.Advance(steps)
+			c.Barrier()
+		}
+	})
+	// Both ranks' allocations land in the same process-wide counter;
+	// ~2 sends/step × a few boxed objects each is well under 64. The
+	// old per-send copies alone were >1 allocation per step plus the
+	// O(halo) buffer churn behind them.
+	if perStep > 64 {
+		t.Errorf("multi-rank stepping allocates %.1f objects/step, want a small constant (<= 64)", perStep)
+	}
+}

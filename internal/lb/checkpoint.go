@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc64"
 	"io"
+	"math"
 )
 
 // Checkpointing addresses the §III resiliency challenge: at exascale,
@@ -72,7 +73,17 @@ func (ci CheckpointInfo) EncodedLen() int {
 // writeCheckpoint emits the canonical stream: header and body (iolet
 // densities then populations), both CRC-covered, then the CRC trailer.
 func writeCheckpoint(w io.Writer, step int, ioletRho, f []float64, sites, q int) error {
-	bw := bufio.NewWriter(w)
+	// bufio amortizes syscalls for real sinks; an in-memory buffer is
+	// already its own buffer, and skipping the wrapper saves a full
+	// extra copy of the population vector per checkpoint.
+	var bw io.Writer
+	var fl *bufio.Writer
+	if mem, ok := w.(*bytes.Buffer); ok {
+		bw = mem
+	} else {
+		fl = bufio.NewWriter(w)
+		bw = fl
+	}
 	crc := crc64.New(crcTable)
 	mw := io.MultiWriter(bw, crc)
 	head := []uint64{
@@ -87,16 +98,44 @@ func writeCheckpoint(w io.Writer, step int, ioletRho, f []float64, sites, q int)
 			return fmt.Errorf("lb: checkpoint header: %w", err)
 		}
 	}
-	if err := binary.Write(mw, binary.LittleEndian, ioletRho); err != nil {
+	// The float vectors stream through a fixed scratch chunk instead of
+	// binary.Write, which would allocate a transient byte buffer the
+	// size of the whole population vector per checkpoint.
+	var scratch [4096]byte
+	if err := writeF64s(mw, ioletRho, scratch[:]); err != nil {
 		return fmt.Errorf("lb: checkpoint iolets: %w", err)
 	}
-	if err := binary.Write(mw, binary.LittleEndian, f); err != nil {
+	if err := writeF64s(mw, f, scratch[:]); err != nil {
 		return fmt.Errorf("lb: checkpoint populations: %w", err)
 	}
 	if err := binary.Write(bw, binary.LittleEndian, crc.Sum64()); err != nil {
 		return fmt.Errorf("lb: checkpoint crc: %w", err)
 	}
-	return bw.Flush()
+	if fl != nil {
+		return fl.Flush()
+	}
+	return nil
+}
+
+// writeF64s little-endian-encodes vals through the caller's scratch
+// chunk (len a multiple of 8).
+func writeF64s(w io.Writer, vals []float64, scratch []byte) error {
+	per := len(scratch) / 8
+	for at := 0; at < len(vals); at += per {
+		end := at + per
+		if end > len(vals) {
+			end = len(vals)
+		}
+		n := 0
+		for _, v := range vals[at:end] {
+			binary.LittleEndian.PutUint64(scratch[n:], math.Float64bits(v))
+			n += 8
+		}
+		if _, err := w.Write(scratch[:n]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // readCheckpointHeader parses and sanity-checks the fixed header,
@@ -251,33 +290,86 @@ func (s *Solver) Restore(r io.Reader) error {
 	return nil
 }
 
-// Checkpoint gathers the distributed state to rank 0 and writes it in
-// the same global-site-major format Solver.Checkpoint uses, so a Dist
-// checkpoint restores into a Solver (and vice versa) for the same
-// domain. It is collective: every rank must call it at the same step;
-// only rank 0 writes to w (other ranks may pass nil) and only rank 0
-// can return an error.
-func (d *Dist) Checkpoint(w io.Writer) error {
+// EncodeTo writes the canonical checkpoint stream for a decoded (or
+// gathered) state — the off-critical-path half of an async checkpoint:
+// a writer goroutine encodes and persists what GatherState captured
+// while the solver keeps stepping.
+func (st *CheckpointState) EncodeTo(w io.Writer) error {
+	return writeCheckpoint(w, st.Info.Step, st.IoletRho, st.F, st.Info.Sites, st.Info.Q)
+}
+
+// GatherState collects the distributed solver state into st at rank 0,
+// reusing st's arrays when they are already the right size (allocating
+// otherwise; nil st is fine). It is collective: every rank must call
+// it at the same step; non-root ranks pass nil and receive nil. This
+// is the in-loop half of an async checkpoint — a memory-only gather
+// with no encoding, CRC or I/O — and with a recycled st it allocates
+// nothing. States filled here are private to the caller; they do not
+// carry the read-only sharing convention DecodeCheckpoint states do.
+func (d *Dist) GatherState(st *CheckpointState) *CheckpointState {
 	q := d.M
-	buf := make([]float64, len(d.Owned)*(q+1))
+	if d.Comm.Size() == 1 {
+		// A single rank owns every site in ascending global order, so
+		// its population vector already is the global-site-major body:
+		// one straight copy, no packing or transport.
+		st = d.prepState(st)
+		copy(st.F, d.f)
+		return st
+	}
+	buf := d.pack(len(d.Owned) * (q + 1))
 	for li, g := range d.Owned {
 		at := li * (q + 1)
 		buf[at] = float64(g)
 		copy(buf[at+1:at+1+q], d.f[li*q:(li+1)*q])
 	}
-	parts := d.Comm.Gather(0, buf)
-	if parts == nil {
-		return nil // non-root
+	root := 0
+	if d.Comm.Rank() != root {
+		d.Comm.GatherConsume(root, buf, nil)
+		return nil
 	}
-	n := d.Dom.NumSites()
-	f := make([]float64, n*q)
-	for _, p := range parts {
+	st = d.prepState(st)
+	f := st.F
+	d.Comm.GatherConsume(root, buf, func(_ int, p []float64) {
 		for i := 0; i+q < len(p); i += q + 1 {
 			g := int(p[i])
 			copy(f[g*q:(g+1)*q], p[i+1:i+1+q])
 		}
+	})
+	return st
+}
+
+// prepState sizes st (allocating as needed) and fills header and iolet
+// densities for a gather at the current step.
+func (d *Dist) prepState(st *CheckpointState) *CheckpointState {
+	n := d.Dom.NumSites()
+	q := d.M
+	if st == nil {
+		st = &CheckpointState{}
 	}
-	return writeCheckpoint(w, d.step, d.ioletRho, f, n, q)
+	st.Info = CheckpointInfo{Step: d.step, Sites: n, Q: q, Iolets: len(d.ioletRho)}
+	if len(st.F) != n*q {
+		st.F = make([]float64, n*q)
+	}
+	if len(st.IoletRho) != len(d.ioletRho) {
+		st.IoletRho = make([]float64, len(d.ioletRho))
+	}
+	copy(st.IoletRho, d.ioletRho)
+	return st
+}
+
+// Checkpoint gathers the distributed state to rank 0 and writes it in
+// the same global-site-major format Solver.Checkpoint uses, so a Dist
+// checkpoint restores into a Solver (and vice versa) for the same
+// domain. It is collective: every rank must call it at the same step;
+// only rank 0 writes to w (other ranks may pass nil) and only rank 0
+// can return an error. The synchronous convenience form of
+// GatherState + EncodeTo.
+func (d *Dist) Checkpoint(w io.Writer) error {
+	st := d.GatherState(nil)
+	if st == nil {
+		return nil // non-root
+	}
+	return st.EncodeTo(w)
 }
 
 // RestoreState installs a decoded global checkpoint into this rank's

@@ -42,6 +42,11 @@ type Dist struct {
 	pulses   []*Pulse
 
 	post, feqBuf []float64
+	// rhoIoBuf holds the per-step effective iolet densities; packBuf is
+	// the reusable payload for state gathers (snapshots, checkpoints).
+	// Both exist so steady-state stepping allocates nothing.
+	rhoIoBuf []float64
+	packBuf  []float64
 
 	// sendBuf is packed by CollideStream; sendTo[r] gives the slot
 	// range destined for rank r. recvFix[r] lists the local fNew flat
@@ -81,6 +86,7 @@ func NewDist(comm *par.Comm, dom *geometry.Domain, part *partition.Partition, p 
 		pulses:   make([]*Pulse, len(dom.Iolets)),
 		post:     make([]float64, m.Q),
 		feqBuf:   make([]float64, m.Q),
+		rhoIoBuf: make([]float64, len(dom.Iolets)),
 	}
 	for k, io := range dom.Iolets {
 		d.ioletRho[k] = 1 + io.Pressure
@@ -276,7 +282,7 @@ func (d *Dist) Step() {
 	mv := modelView{Q: m.Q, C: m.C, W: m.W, Opp: m.Opp}
 	invTauPlus := 1.0 / d.Tau
 	invTauMinus := 1.0 / tauMinus(d.Tau)
-	rhoIo := make([]float64, len(d.ioletRho))
+	rhoIo := d.rhoIoBuf
 	for k := range rhoIo {
 		rhoIo[k] = effectiveIoletRho(d.ioletRho[k], d.pulses[k], d.step)
 	}
@@ -317,11 +323,13 @@ func (d *Dist) Step() {
 			}
 		}
 	}
-	// Halo exchange: send packed slices, receive and scatter.
+	// Halo exchange: send packed slices, receive and scatter. The
+	// transport copies cycle through the runtime's buffer pool, so the
+	// per-step exchange allocates nothing once warm.
 	for _, r := range d.neighbors {
 		seg := d.sendBuf[d.sendOff[r]:d.sendOff[r+1]]
 		if len(seg) > 0 {
-			d.Comm.SendF64(r, tagHalo, seg)
+			d.Comm.SendF64Pooled(r, tagHalo, seg)
 		}
 	}
 	for _, r := range d.neighbors {
@@ -336,6 +344,7 @@ func (d *Dist) Step() {
 		for i, at := range fix {
 			d.fNew[at] = data[i]
 		}
+		d.Comm.Recycle(data)
 	}
 	d.f, d.fNew = d.fNew, d.f
 	d.step++
@@ -379,6 +388,14 @@ func (d *Dist) Velocity(li int) (ux, uy, uz float64) {
 	return
 }
 
+// WallShearStress estimates the wall shear stress magnitude at local
+// site li (0 for non-wall sites) — the distributed counterpart of
+// Solver.WallShearStress, sharing its kernel.
+func (d *Dist) WallShearStress(li int) float64 {
+	g := d.Owned[li]
+	return wallShearStressAt(d.Dom.Model, &d.Dom.Sites[g], d.f, li*d.M, d.Tau)
+}
+
 // TotalMass returns the global mass (allreduce over ranks).
 func (d *Dist) TotalMass() float64 {
 	local := 0.0
@@ -388,37 +405,79 @@ func (d *Dist) TotalMass() float64 {
 	return d.Comm.AllreduceScalar(par.OpSum, local)
 }
 
-// GatherFields collects the full global (rho, ux, uy, uz) fields at
-// root rank, indexed by global site id; non-root ranks receive nils.
-// The §V octree is built from this snapshot when a steering client
-// asks for reduced data.
-func (d *Dist) GatherFields(root int) (rho, ux, uy, uz []float64) {
+// pack returns the reusable gather payload buffer, grown to length n.
+// One buffer serves every collective a rank initiates (field gathers,
+// checkpoint gathers); they are serialised by the SPMD structure, and
+// GatherConsume's pooled transport means it may be refilled the moment
+// the collective returns.
+func (d *Dist) pack(n int) []float64 {
+	if cap(d.packBuf) < n {
+		d.packBuf = make([]float64, n)
+	}
+	return d.packBuf[:n]
+}
+
+// GatherFields collects the full global (rho, ux, uy, uz, wss) fields
+// at root rank, indexed by global site id; non-root ranks receive
+// nils. The §V octree and every snapshot render are built from this;
+// wall shear stress rides along so wall-mode views work on the
+// offload path too (zero for non-wall sites). The result arrays are
+// freshly allocated — published snapshots must be immutable — but the
+// transport reuses the rank-local pack buffer and the runtime pool.
+func (d *Dist) GatherFields(root int) (rho, ux, uy, uz, wss []float64) {
+	return d.gatherFields(root, true)
+}
+
+// GatherFieldsNoWSS is GatherFields without the wall-shear-stress
+// kernel and its gather stride — for consumers like the in-loop
+// steering data reply, whose octree never reads WSS.
+func (d *Dist) GatherFieldsNoWSS(root int) (rho, ux, uy, uz []float64) {
+	rho, ux, uy, uz, _ = d.gatherFields(root, false)
+	return rho, ux, uy, uz
+}
+
+func (d *Dist) gatherFields(root int, withWSS bool) (rho, ux, uy, uz, wss []float64) {
+	stride := 5
+	if withWSS {
+		stride = 6
+	}
 	n := len(d.Owned)
-	buf := make([]float64, 5*n)
+	m := d.Dom.Model
+	buf := d.pack(stride * n)
 	for li, g := range d.Owned {
 		vx, vy, vz := d.Velocity(li)
-		buf[5*li] = float64(g)
-		buf[5*li+1] = d.Density(li)
-		buf[5*li+2] = vx
-		buf[5*li+3] = vy
-		buf[5*li+4] = vz
+		at := stride * li
+		buf[at] = float64(g)
+		buf[at+1] = d.Density(li)
+		buf[at+2] = vx
+		buf[at+3] = vy
+		buf[at+4] = vz
+		if withWSS {
+			buf[at+5] = wallShearStressAt(m, &d.Dom.Sites[g], d.f, li*m.Q, d.Tau)
+		}
 	}
-	parts := d.Comm.Gather(root, buf)
-	if parts == nil {
-		return nil, nil, nil, nil
+	if d.Comm.Rank() != root {
+		d.Comm.GatherConsume(root, buf, nil)
+		return nil, nil, nil, nil, nil
 	}
 	N := d.Dom.NumSites()
 	rho = make([]float64, N)
 	ux = make([]float64, N)
 	uy = make([]float64, N)
 	uz = make([]float64, N)
-	for _, p := range parts {
-		for i := 0; i+4 < len(p); i += 5 {
+	if withWSS {
+		wss = make([]float64, N)
+	}
+	d.Comm.GatherConsume(root, buf, func(_ int, p []float64) {
+		for i := 0; i+stride-1 < len(p); i += stride {
 			g := int(p[i])
 			rho[g], ux[g], uy[g], uz[g] = p[i+1], p[i+2], p[i+3], p[i+4]
+			if withWSS {
+				wss[g] = p[i+5]
+			}
 		}
-	}
-	return rho, ux, uy, uz
+	})
+	return rho, ux, uy, uz, wss
 }
 
 // GatherVelocity collects the full global velocity field at root rank

@@ -192,11 +192,16 @@ func feq(w, rho, cu, u2 float64) float64 {
 
 // Moments computes density and momentum at site i from populations f.
 func (s *Solver) moments(f []float64, i int) (rho, ux, uy, uz float64) {
-	base := i * s.M.Q
-	for q := 0; q < s.M.Q; q++ {
+	return momentsAt(s.M, f, i*s.M.Q)
+}
+
+// momentsAt is the shared moment kernel over one site's populations
+// starting at flat index base.
+func momentsAt(m *lattice.Model, f []float64, base int) (rho, ux, uy, uz float64) {
+	for q := 0; q < m.Q; q++ {
 		v := f[base+q]
 		rho += v
-		c := &s.M.C[q]
+		c := &m.C[q]
 		ux += v * float64(c[0])
 		uy += v * float64(c[1])
 		uz += v * float64(c[2])
@@ -326,26 +331,30 @@ func (s *Solver) MaxSpeed() float64 {
 // 0. This is the physiological observable ("wall stress distributions")
 // the paper lists as a primary post-processing target.
 func (s *Solver) WallShearStress(i int) float64 {
-	site := &s.Dom.Sites[i]
+	return wallShearStressAt(s.M, &s.Dom.Sites[i], s.f, i*s.M.Q, s.Tau)
+}
+
+// wallShearStressAt is the shared kernel behind Solver.WallShearStress
+// and the distributed gather path: populations for one site start at
+// flat index base in f. Non-wall sites return 0.
+func wallShearStressAt(m *lattice.Model, site *geometry.Site, f []float64, base int, tau float64) float64 {
 	if site.Flags&geometry.FlagWall == 0 {
 		return 0
 	}
-	m := s.M
-	rho, ux, uy, uz := s.moments(s.f, i)
+	rho, ux, uy, uz := momentsAt(m, f, base)
 	u2 := ux*ux + uy*uy + uz*uz
 	var sigma [3][3]float64
-	base := i * m.Q
 	for q := 0; q < m.Q; q++ {
 		c := &m.C[q]
 		cu := ux*float64(c[0]) + uy*float64(c[1]) + uz*float64(c[2])
-		fneq := s.f[base+q] - feq(m.W[q], rho, cu, u2)
+		fneq := f[base+q] - feq(m.W[q], rho, cu, u2)
 		for a := 0; a < 3; a++ {
 			for b := 0; b < 3; b++ {
 				sigma[a][b] += float64(c[a]) * float64(c[b]) * fneq
 			}
 		}
 	}
-	factor := -(1 - 1/(2*s.Tau))
+	factor := -(1 - 1/(2*tau))
 	nrm := [3]float64{site.WallNormal.X, site.WallNormal.Y, site.WallNormal.Z}
 	var traction [3]float64
 	for a := 0; a < 3; a++ {

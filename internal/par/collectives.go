@@ -21,6 +21,20 @@ const (
 	tagSplit
 )
 
+// GatherConsume matches on AnySource, so two back-to-back collectives
+// must not share a tag: a fast sender's part for collective N+1 could
+// otherwise satisfy root's receive for collective N (mixing, say, a
+// checkpoint part into a snapshot at steps where both cadences
+// coincide). Each call therefore takes the next tag from a dedicated
+// window — every rank calls collectives in the same SPMD order, so
+// the per-rank counters agree. The window wraps far beyond how far a
+// sender can run ahead of root (halo exchange and broadcasts
+// re-synchronise ranks every step).
+const (
+	tagGatherConsumeBase   = 1 << 20
+	tagGatherConsumeWindow = 1 << 16
+)
+
 // highestPow2LE returns the largest power of two that is <= n, or 0 for
 // n == 0.
 func highestPow2LE(n int) int {
@@ -106,6 +120,14 @@ func (c *Comm) BcastF64(root int, data []float64) []float64 {
 		return nil
 	}
 	return append([]float64(nil), out.([]float64)...)
+}
+
+// BcastInt broadcasts a single int from root and returns it on every
+// rank — a flag-sized collective. Small values (0..255) ride the
+// runtime's preboxed integers, so the demand-driven snapshot decision
+// this backs costs no allocation on the solver's critical path.
+func (c *Comm) BcastInt(root, v int) int {
+	return c.Bcast(root, v).(int)
 }
 
 // BcastInts broadcasts an int vector from root and returns a private
@@ -211,6 +233,32 @@ func (c *Comm) Gather(root int, in []float64) [][]float64 {
 		out[from] = d
 	}
 	return out
+}
+
+// GatherConsume collects each rank's vector at root without retaining
+// any of it: root's consume callback runs once per rank (its own part
+// first, the rest in arrival order) with that rank's part, which is
+// only valid for the duration of the call — the transport buffer is
+// recycled into the runtime's pool immediately afterwards. Senders
+// copy through the pool too, so every rank may reuse `in` the moment
+// the call returns. This is the allocation-flat gather the per-step
+// state gathers (snapshots, checkpoints) are built on; use Gather
+// when the parts must outlive the collective. consume is ignored on
+// non-root ranks (nil is fine there).
+func (c *Comm) GatherConsume(root int, in []float64, consume func(src int, part []float64)) {
+	tag := TagUser + tagGatherConsumeBase + c.gatherSeq%tagGatherConsumeWindow
+	c.gatherSeq++
+	if c.rank != root {
+		c.SendF64Pooled(root, tag, in)
+		return
+	}
+	c.rt.traffic.addColl()
+	consume(root, in)
+	for i := 0; i < c.size-1; i++ {
+		d, from := c.RecvF64(AnySource, tag)
+		consume(from, d)
+		c.rt.pool.put(d)
+	}
 }
 
 // GatherBytes collects byte slices at root (gatherv semantics).

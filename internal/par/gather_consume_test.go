@@ -1,0 +1,43 @@
+package par
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGatherConsumeBackToBackNoMixing pins the per-collective tag
+// isolation: senders push the parts of TWO consecutive collectives
+// (different shapes) before root receives anything — exactly what
+// happens when snapshot and checkpoint gathers land on the same step.
+// Without per-call tags, root's first AnySource receive loop could
+// consume a sender's second-collective part as first-collective data.
+func TestGatherConsumeBackToBackNoMixing(t *testing.T) {
+	const ranks = 3
+	rt := NewRuntime(ranks)
+	rt.Run(func(c *Comm) {
+		if c.Rank() != 0 {
+			r := float64(c.Rank())
+			c.GatherConsume(0, []float64{100 + r}, nil)
+			c.GatherConsume(0, []float64{200 + r, 300 + r}, nil)
+			return
+		}
+		// Give every sender time to queue both collectives' parts.
+		time.Sleep(30 * time.Millisecond)
+		got1 := map[int][]float64{}
+		c.GatherConsume(0, []float64{100}, func(src int, p []float64) {
+			got1[src] = append([]float64(nil), p...)
+		})
+		got2 := map[int][]float64{}
+		c.GatherConsume(0, []float64{200, 300}, func(src int, p []float64) {
+			got2[src] = append([]float64(nil), p...)
+		})
+		for r := 1; r < ranks; r++ {
+			if len(got1[r]) != 1 || got1[r][0] != float64(100+r) {
+				t.Errorf("collective 1, rank %d: got %v, want [%d]", r, got1[r], 100+r)
+			}
+			if len(got2[r]) != 2 || got2[r][0] != float64(200+r) || got2[r][1] != float64(300+r) {
+				t.Errorf("collective 2, rank %d: got %v, want [%d %d]", r, got2[r], 200+r, 300+r)
+			}
+		}
+	})
+}

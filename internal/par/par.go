@@ -75,6 +75,53 @@ func (mb *mailbox) get(cid uint64, src, tag int) message {
 	}
 }
 
+// bufPool is a bounded free-list of float64 transport buffers shared
+// by all ranks of a runtime. Hot paths (halo exchange, state gathers)
+// that run every step would otherwise allocate a fresh copy per send;
+// recycling through the pool keeps steady-state stepping
+// allocation-flat. A plain mutex-guarded list (not sync.Pool) so
+// retention is deterministic — the allocation guards in lb rely on
+// that.
+type bufPool struct {
+	mu   sync.Mutex
+	bufs [][]float64
+}
+
+// maxPooledBufs bounds how many buffers the pool retains; beyond it,
+// returned buffers are dropped for the GC (burst traffic must not pin
+// memory forever).
+const maxPooledBufs = 64
+
+// get returns a length-n buffer, reusing a pooled one when its
+// capacity suffices. Contents are unspecified; callers overwrite.
+func (p *bufPool) get(n int) []float64 {
+	p.mu.Lock()
+	for i, b := range p.bufs {
+		if cap(b) >= n {
+			last := len(p.bufs) - 1
+			p.bufs[i] = p.bufs[last]
+			p.bufs[last] = nil
+			p.bufs = p.bufs[:last]
+			p.mu.Unlock()
+			return b[:n]
+		}
+	}
+	p.mu.Unlock()
+	return make([]float64, n)
+}
+
+// put hands a buffer back for reuse.
+func (p *bufPool) put(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.bufs) < maxPooledBufs {
+		p.bufs = append(p.bufs, b[:0])
+	}
+	p.mu.Unlock()
+}
+
 // Traffic accumulates communication metering for one runtime.
 type Traffic struct {
 	mu        sync.Mutex
@@ -147,6 +194,7 @@ type Runtime struct {
 	size    int
 	boxes   []*mailbox
 	traffic *Traffic
+	pool    *bufPool
 }
 
 // NewRuntime creates a runtime for size ranks.
@@ -158,6 +206,7 @@ func NewRuntime(size int) *Runtime {
 		size:    size,
 		boxes:   make([]*mailbox, size),
 		traffic: &Traffic{perRank: make([]int64, size)},
+		pool:    &bufPool{},
 	}
 	for i := range r.boxes {
 		r.boxes[i] = newMailbox()
@@ -209,6 +258,10 @@ type Comm struct {
 	size  int    // size of this communicator
 	ranks []int  // world ranks of members; nil means identity (world)
 	cid   uint64 // communicator identity for message matching
+	// gatherSeq numbers this rank's GatherConsume calls; SPMD order
+	// keeps it identical across ranks, giving each collective its own
+	// tag (see tagGatherConsumeBase).
+	gatherSeq int
 }
 
 // Rank returns the caller's rank within the communicator.
@@ -286,6 +339,24 @@ func (c *Comm) Recv(src, tag int) (data any, from int) {
 // buffer immediately.
 func (c *Comm) SendF64(dest, tag int, data []float64) {
 	c.Send(dest, tag, append([]float64(nil), data...))
+}
+
+// SendF64Pooled is SendF64 with the transport copy drawn from the
+// runtime's buffer pool instead of a fresh allocation. The receiver
+// must hand the payload back with Recycle once done with it, or the
+// buffer is simply lost to the GC — correctness never depends on the
+// recycle, only steady-state allocation behaviour does.
+func (c *Comm) SendF64Pooled(dest, tag int, data []float64) {
+	buf := c.rt.pool.get(len(data))
+	copy(buf, data)
+	c.Send(dest, tag, buf)
+}
+
+// Recycle returns a received float64 payload to the runtime's buffer
+// pool. Only call it when the slice (and any sub-slice of it) will not
+// be used again.
+func (c *Comm) Recycle(data []float64) {
+	c.rt.pool.put(data)
 }
 
 // RecvF64 receives a float64 slice.

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"bytes"
+	"sync"
+	"time"
+
+	"repro/internal/lb"
+)
+
+// checkpointPutter is the slice of the store the writer needs —
+// narrowed to an interface so tests can inject slow or failing sinks
+// and exercise coalescing deterministically.
+type checkpointPutter interface {
+	PutCheckpoint(id string, data []byte) error
+}
+
+// ckptWriter implements core.CheckpointSink: it moves checkpoint
+// encoding, CRC and the fsync+rename off the solver's critical path
+// onto one goroutine per job.
+//
+// The solver's in-loop cost is a collective state gather into a
+// reusable buffer plus two O(1) swaps (TakeBuffer/Deliver). Two
+// CheckpointState buffers cycle through three homes — free (ready to
+// gather into), pending (gathered, awaiting write) and in-flight
+// (being encoded/written) — so steady-state checkpointing allocates
+// nothing. Back-pressure is "latest wins": at most one write is ever
+// in flight, and if the solver gathers again before the writer caught
+// up, the pending state is overwritten and counted as coalesced — the
+// solver never blocks on the disk.
+//
+// Close drains: the last delivered state is encoded and written before
+// Close returns, so terminal/shutdown recovery semantics are exactly
+// those of the old synchronous writes — only a hard kill can lose the
+// in-flight tail, which the CRC-checked on-disk format already
+// tolerates (the previous checkpoint survives the atomic rename).
+type ckptWriter struct {
+	store   checkpointPutter
+	id      string
+	metrics *Metrics
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending *lb.CheckpointState
+	free    *lb.CheckpointState
+	closed  bool
+	// takenAt timestamps the TakeBuffer→Deliver window (the gather on
+	// the solver loop) for the stall metric; only rank 0's solver
+	// goroutine touches the pair, sequentially.
+	takenAt time.Time
+
+	// enc is the reusable encode buffer; only the writer goroutine
+	// touches it.
+	enc  bytes.Buffer
+	done chan struct{}
+}
+
+// newCkptWriter starts the writer goroutine for one job.
+func newCkptWriter(store checkpointPutter, id string, metrics *Metrics) *ckptWriter {
+	w := &ckptWriter{store: store, id: id, metrics: metrics, done: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	go w.loop()
+	return w
+}
+
+// TakeBuffer implements core.CheckpointSink: hand the solver a state
+// buffer to gather into. Preference order: a free (already written)
+// buffer; else the pending one — overwriting it coalesces two
+// checkpoints into the newer (back-pressure, counted); else nil, and
+// the gather allocates (happens at most twice per job).
+func (w *ckptWriter) TakeBuffer() *lb.CheckpointState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.takenAt = time.Now()
+	if st := w.free; st != nil {
+		w.free = nil
+		return st
+	}
+	if st := w.pending; st != nil {
+		w.pending = nil
+		w.metrics.CheckpointsCoalesced.Add(1)
+		return st
+	}
+	return nil
+}
+
+// Deliver implements core.CheckpointSink: publish the gathered state
+// to the writer goroutine and return immediately.
+func (w *ckptWriter) Deliver(st *lb.CheckpointState) {
+	w.mu.Lock()
+	w.pending = st
+	if !w.takenAt.IsZero() {
+		w.metrics.CheckpointStallNs.Add(time.Since(w.takenAt).Nanoseconds())
+		w.takenAt = time.Time{}
+	}
+	w.mu.Unlock()
+	w.cond.Signal()
+}
+
+// Close stops the writer after draining: a pending state is still
+// encoded and written. Idempotent; safe even if the solver never
+// delivered anything.
+func (w *ckptWriter) Close() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Signal()
+	<-w.done
+}
+
+// CloseDiscard stops the writer without draining: a pending state is
+// dropped. For jobs reaching a true terminal state, whose checkpoint
+// will never be read again — the in-flight write (if any) still
+// completes.
+func (w *ckptWriter) CloseDiscard() {
+	w.mu.Lock()
+	w.closed = true
+	w.pending = nil
+	w.mu.Unlock()
+	w.cond.Signal()
+	<-w.done
+}
+
+// loop is the writer goroutine: wait for a pending state, write it,
+// recycle the buffer. On close it drains the final pending state
+// before exiting.
+func (w *ckptWriter) loop() {
+	defer close(w.done)
+	for {
+		w.mu.Lock()
+		for w.pending == nil && !w.closed {
+			w.cond.Wait()
+		}
+		st := w.pending
+		w.pending = nil
+		w.mu.Unlock()
+		if st == nil {
+			return // closed with nothing left to drain
+		}
+		w.write(st)
+		w.mu.Lock()
+		w.free = st
+		w.mu.Unlock()
+	}
+}
+
+// write encodes one state into the reusable buffer and persists it.
+// Failures are counted, not fatal: the job keeps its previous
+// checkpoint, exactly as the synchronous path behaved.
+func (w *ckptWriter) write(st *lb.CheckpointState) {
+	w.enc.Reset()
+	if err := st.EncodeTo(&w.enc); err != nil {
+		w.metrics.StoreErrors.Add(1)
+		return
+	}
+	if err := w.store.PutCheckpoint(w.id, w.enc.Bytes()); err != nil {
+		w.metrics.StoreErrors.Add(1)
+		return
+	}
+	w.metrics.CheckpointsWritten.Add(1)
+	w.metrics.CheckpointBytes.Add(int64(w.enc.Len()))
+}

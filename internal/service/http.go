@@ -313,6 +313,10 @@ func frameRequest(r *http.Request) (insitu.Request, error) {
 		req.Mode = insitu.ModeStreamlines
 	case "lic":
 		req.Mode = insitu.ModeLIC
+	case "wall":
+		// Wall shear stress rides along in every snapshot, so wall-mode
+		// renders work on the offload path like any other view.
+		req.Mode = insitu.ModeWall
 	default:
 		return req, fmt.Errorf("service: unknown mode %q", m)
 	}
@@ -321,6 +325,8 @@ func frameRequest(r *http.Request) (insitu.Request, error) {
 		req.Scalar = field.ScalarSpeed
 	case "rho", "density":
 		req.Scalar = field.ScalarRho
+	case "wss":
+		req.Scalar = field.ScalarWSS
 	default:
 		return req, fmt.Errorf("service: unknown scalar %q", sc)
 	}

@@ -14,9 +14,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/insitu"
+	"repro/internal/octree"
 	"repro/internal/render"
 	"repro/internal/service/store"
 	"repro/internal/steering"
+	"repro/internal/vec"
 )
 
 // JobState is the lifecycle of one managed simulation.
@@ -115,6 +117,77 @@ type Job struct {
 	snap       *core.Snapshot
 	snapCh     chan struct{}
 	snapSealed bool
+	// snapWant latches that some consumer (frame poller, stream pump,
+	// data request) wants a fresher snapshot; the solver's
+	// SnapshotInterest hook consumes it at cadence boundaries. Unwatched
+	// jobs therefore publish nothing and gather nothing in-loop.
+	snapWant atomic.Bool
+
+	// Octree memo: the §V tree built over a snapshot, cached per
+	// snapshot so N data-plane queries of one step cost one build —
+	// and zero solver-loop collectives.
+	octMu   sync.Mutex
+	octSnap *core.Snapshot
+	octTree *octree.Tree
+}
+
+// wantSnapshot registers demand for a fresh snapshot; the solver
+// publishes at its next cadence check.
+func (j *Job) wantSnapshot() { j.snapWant.Store(true) }
+
+// snapFreshWait bounds how long a frame/data request waits for a
+// demand-driven publication before settling for whatever exists.
+const snapFreshWait = 10 * time.Second
+
+// freshSnapshot returns the job's latest snapshot for request serving,
+// registering demand and waiting (bounded) for a publication when the
+// newest one lags a running solver by more than one cadence — with
+// demand-driven publication, a stale snapshot is refreshed by the
+// request, not by a timer, so pollers keep the same ≤one-cadence
+// staleness the fixed schedule gave them. Paused and terminal jobs
+// answer immediately: the solver publishes on pause entry and at run
+// end, so their latest snapshot already is the current state. Returns
+// nil when the job has snapshots disabled (or none was ever
+// published), sending the caller to the legacy in-loop path.
+func (m *Manager) freshSnapshot(j *Job) *core.Snapshot {
+	every := j.Spec.SnapshotEvery
+	if every <= 0 {
+		return nil
+	}
+	deadline := time.NewTimer(snapFreshWait)
+	defer deadline.Stop()
+	for {
+		snap, newer := j.LatestSnapshot()
+		if j.State() != StateRunning {
+			return snap
+		}
+		if snap != nil && j.Step() < snap.Step+every {
+			return snap
+		}
+		j.wantSnapshot()
+		select {
+		case <-newer:
+		case <-deadline.C:
+			return snap
+		}
+	}
+}
+
+// octreeFor returns the reduced-data octree for snap, building it at
+// most once per snapshot. Concurrent callers for the same snapshot
+// serialise on the build; a newer snapshot evicts the memo.
+func (j *Job) octreeFor(snap *core.Snapshot) (*octree.Tree, error) {
+	j.octMu.Lock()
+	defer j.octMu.Unlock()
+	if j.octSnap == snap && j.octTree != nil {
+		return j.octTree, nil
+	}
+	tree, err := snap.Octree()
+	if err != nil {
+		return nil, err
+	}
+	j.octSnap, j.octTree = snap, tree
+	return tree, nil
 }
 
 // JobInfo is the JSON snapshot served by list/get.
@@ -478,10 +551,35 @@ func (m *Manager) persistState(j *Job) {
 	defer j.journalMu.Unlock()
 	j.mu.Lock()
 	rec := j.recordLocked()
+	// A shutdown-induced cancel must never reach the journal (the
+	// stale running/paused record is what re-queues the job on the
+	// next boot). finish skips its own write; this guard covers
+	// journal writes that were queued before the drain and would
+	// otherwise journal the terminal state they now observe.
+	skip := j.shutdownCancel && j.state == StateCancelled
 	j.mu.Unlock()
+	if skip {
+		return
+	}
 	if err := m.store.PutState(j.ID, rec); err != nil {
 		m.metrics.StoreErrors.Add(1)
 	}
+}
+
+// persistStateAsync journals the current lifecycle record off the
+// caller's critical path. Out-of-order completion is safe by
+// construction: the record is rebuilt from the job's state under
+// journalMu at write time, so a delayed write re-writes the newest
+// state — it can never resurrect an old one. Used for the mid-run
+// transitions (pause, resume) whose loss in a crash is
+// indistinguishable from crashing a moment earlier; submission and
+// terminal records stay synchronous because they back user-visible
+// promises.
+func (m *Manager) persistStateAsync(j *Job) {
+	if m.store == nil {
+		return
+	}
+	go m.persistState(j)
 }
 
 // checkpointCadence resolves a spec's effective checkpoint cadence:
@@ -650,7 +748,10 @@ func (m *Manager) run(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.mu.Unlock()
-	m.persistState(j)
+	// Deliberately not journaled: recovery re-queues queued and
+	// running records identically (started_at only survives through
+	// terminal records, step through checkpoints), so a running-record
+	// write would buy nothing but two fsyncs on every job start.
 
 	cfg, err := j.Spec.coreConfig()
 	if err != nil {
@@ -663,19 +764,27 @@ func (m *Manager) run(j *Job) {
 		m.metrics.SnapshotsTotal.Add(1)
 		j.publishSnapshot(s)
 	}
+	// Demand-driven publication: the solver gathers a snapshot only
+	// when some consumer registered interest since the last one, and
+	// skips (counted) otherwise — an unwatched job's step loop runs
+	// collective-free.
+	cfg.SnapshotInterest = func() bool {
+		if j.snapWant.Swap(false) {
+			return true
+		}
+		m.metrics.SnapshotsSkipped.Add(1)
+		return false
+	}
+	// Durable checkpoints ride a per-job writer goroutine: the solver
+	// loop only gathers state into the writer's recycled buffer pair;
+	// encoding, CRC and the fsync+rename happen off-loop with
+	// latest-wins back-pressure. The writer drains on Close, so
+	// shutdown still persists the last gathered state.
+	var writer *ckptWriter
 	if every := m.checkpointCadence(j.Spec); every > 0 {
 		cfg.CheckpointEvery = every
-		id := j.ID
-		// Synchronous by design: a checkpoint that hasn't hit disk
-		// protects nothing, so the solver pays the write at cadence.
-		cfg.OnCheckpoint = func(step int, data []byte) {
-			if err := m.store.PutCheckpoint(id, data); err != nil {
-				m.metrics.StoreErrors.Add(1)
-				return
-			}
-			m.metrics.CheckpointsWritten.Add(1)
-			m.metrics.CheckpointBytes.Add(int64(len(data)))
-		}
+		writer = newCkptWriter(m.store, j.ID, m.metrics)
+		cfg.Checkpoint = writer
 	}
 	// A recovered job resumes from its journaled checkpoint, re-read
 	// and decoded (one full parse, CRC included) now that the job
@@ -705,6 +814,9 @@ func (m *Manager) run(j *Job) {
 	}
 	sim, err := core.New(cfg)
 	if err != nil {
+		if writer != nil {
+			writer.Close()
+		}
 		m.finish(j, err, false)
 		return
 	}
@@ -713,6 +825,22 @@ func (m *Manager) run(j *Job) {
 	j.numSites = sim.Dom.NumSites()
 	j.mu.Unlock()
 	runErr := sim.Run(j.Spec.Steps)
+	if writer != nil {
+		// A job headed for re-queue (shutdown drain) flushes its last
+		// gathered state to disk before the run is declared over —
+		// graceful shutdowns resume exactly like the old synchronous
+		// writes did. A job reaching a true terminal state discards
+		// its pending write instead: terminal checkpoints are never
+		// read again, so the fsync would be pure tail latency.
+		j.mu.Lock()
+		requeue := j.shutdownCancel
+		j.mu.Unlock()
+		if requeue {
+			writer.Close()
+		} else {
+			writer.CloseDiscard()
+		}
+	}
 	m.finish(j, runErr, sim.StepsDone >= j.Spec.Steps)
 }
 
@@ -782,7 +910,7 @@ func (m *Manager) Pause(j *Job) error {
 	j.mu.Unlock()
 	if freeSlot {
 		m.releaseJobSlot(j)
-		m.persistState(j)
+		m.persistStateAsync(j)
 	}
 	return nil
 }
@@ -822,7 +950,7 @@ func (m *Manager) Resume(ctx context.Context, j *Job) error {
 		m.slots <- struct{}{}
 	}
 	if resumed {
-		m.persistState(j)
+		m.persistStateAsync(j)
 	}
 	return err
 }
@@ -897,8 +1025,26 @@ func (m *Manager) Status(j *Job) (*steering.Status, error) {
 }
 
 // Data fetches the §V reduced octree representation for an ROI.
+// Snapshot-capable jobs answer from the latest published snapshot
+// through the per-job octree memo — no solver-loop collective, and the
+// data plane keeps working while paused and after termination. Jobs
+// without a snapshot yet (or with snapshots disabled) fall back to the
+// legacy in-loop steering round-trip.
 func (m *Manager) Data(j *Job, roiMin, roiMax [3]float64, detail, context int) ([]byte, error) {
 	m.metrics.DataRequests.Add(1)
+	if j.State() == StateQueued {
+		return nil, ErrNotRunning
+	}
+	if snap := m.freshSnapshot(j); snap != nil {
+		tree, err := j.octreeFor(snap)
+		if err != nil {
+			return nil, err
+		}
+		dom := snap.Field.Dom
+		return core.QueryReduced(tree, dom.Dims.F(),
+			vec.New(roiMin[0], roiMin[1], roiMin[2]),
+			vec.New(roiMax[0], roiMax[1], roiMax[2]), detail, context)
+	}
 	rep, err := m.do(j, steering.ClientMsg{
 		Op: steering.OpData, ROIMin: roiMin, ROIMax: roiMax,
 		Detail: detail, Context: context,
@@ -918,7 +1064,10 @@ func (m *Manager) Frame(j *Job, req insitu.Request) ([]byte, int, int, error) {
 	if st := j.State(); st == StateQueued {
 		return nil, 0, 0, ErrNotRunning
 	}
-	if snap, _ := j.LatestSnapshot(); snap != nil {
+	// Pollers drive publication now: the request registers demand and
+	// waits for a ≤one-cadence-fresh snapshot — idle jobs publish
+	// nothing between requests.
+	if snap := m.freshSnapshot(j); snap != nil {
 		return m.frameFromSnapshot(j, snap, req)
 	}
 	step := j.Step()

@@ -52,6 +52,19 @@ type Metrics struct {
 	JobsRecovered      atomic.Int64
 	JobRestarts        atomic.Int64
 	StoreErrors        atomic.Int64
+	// Async-persistence counters. CheckpointStallNs accumulates the
+	// time the solver loop itself spends on checkpoints (the collective
+	// gather + buffer swap — encoding and fsync run on the per-job
+	// writer goroutine and do not stall stepping). CheckpointsCoalesced
+	// counts gathered states that were overwritten by a newer one
+	// before the writer got to them (back-pressure: at most one write
+	// in flight, latest state wins). SnapshotsSkipped counts cadence
+	// boundaries where publication was skipped because no subscriber
+	// had registered interest — a zero-viewer job is all skips, zero
+	// gathers.
+	CheckpointStallNs    atomic.Int64
+	CheckpointsCoalesced atomic.Int64
+	SnapshotsSkipped     atomic.Int64
 }
 
 // RecordFrameLatency folds one pool render duration into the latency
@@ -93,6 +106,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"hemeserved_jobs_recovered_total", m.JobsRecovered.Load()},
 		{"hemeserved_job_restarts_total", m.JobRestarts.Load()},
 		{"hemeserved_store_errors_total", m.StoreErrors.Load()},
+		{"hemeserved_checkpoint_stall_ns_total", m.CheckpointStallNs.Load()},
+		{"hemeserved_checkpoints_coalesced_total", m.CheckpointsCoalesced.Load()},
+		{"hemeserved_snapshots_skipped_total", m.SnapshotsSkipped.Load()},
 	} {
 		n, err := fmt.Fprintf(w, "%s %d\n", c.name, c.v)
 		total += int64(n)

@@ -72,6 +72,10 @@ type Store struct {
 
 	mu     sync.Mutex
 	frozen bool
+	// syncedDirs remembers job directories whose creation has already
+	// been fsynced into the parent, so only a job's first write pays
+	// the parent-directory sync.
+	syncedDirs map[string]bool
 }
 
 // Open creates (if needed) and returns a store rooted at dir. Orphan
@@ -89,7 +93,7 @@ func Open(dir string) (*Store, error) {
 			os.Remove(path)
 		}
 	}
-	return &Store{root: dir}, nil
+	return &Store{root: dir, syncedDirs: make(map[string]bool)}, nil
 }
 
 // Root returns the data directory the store was opened on.
@@ -162,9 +166,16 @@ func (s *Store) State(id string) (JobRecord, error) {
 }
 
 // PutCheckpoint atomically replaces the job's checkpoint with data (a
-// serialized lb checkpoint stream, which carries its own CRC).
+// serialized lb checkpoint stream, which carries its own CRC). The
+// data file is fsynced but the rename's directory entry is not: if a
+// crash forgets the rename, the previous checkpoint is still there and
+// still valid — a checkpoint replace may legitimately trade rename
+// durability for one less fsync per write, because resume correctness
+// never depends on having the *newest* checkpoint, only *a* verified
+// one. Lifecycle records (putJSON) keep full durability: a forgotten
+// terminal record would resurrect a job the user was told is gone.
 func (s *Store) PutCheckpoint(id string, data []byte) error {
-	return s.atomicWrite(id, checkpointFile, data)
+	return s.atomicWrite(id, checkpointFile, data, false)
 }
 
 // Checkpoint loads and fully verifies the job's latest checkpoint,
@@ -212,13 +223,17 @@ func (s *Store) Remove(id string) error {
 	if err := os.RemoveAll(s.jobDir(id)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	s.mu.Lock()
+	delete(s.syncedDirs, id)
+	s.mu.Unlock()
 	return syncDir(filepath.Join(s.root, "jobs"))
 }
 
-// putJSON appends the CRC trailer and writes atomically.
+// putJSON appends the CRC trailer and writes atomically with full
+// directory durability.
 func (s *Store) putJSON(id, name string, payload []byte) error {
 	trailer := fmt.Sprintf("%s%016x\n", crcTrailerPrefix, crc64.Checksum(payload, crcTable))
-	return s.atomicWrite(id, name, append(payload, trailer...))
+	return s.atomicWrite(id, name, append(payload, trailer...), true)
 }
 
 // getJSON reads a JSON file, verifies and strips the CRC trailer.
@@ -243,8 +258,13 @@ func (s *Store) getJSON(id, name string) ([]byte, error) {
 }
 
 // atomicWrite writes data to jobs/<id>/<name> via temp file + fsync +
-// rename, creating the job directory on first use.
-func (s *Store) atomicWrite(id, name string, data []byte) error {
+// rename, creating the job directory on first use. syncEntries governs
+// rename durability: true fsyncs the directory entries too (the rename
+// itself and, on a job's first-ever write, the directory's existence
+// in the parent); false stops after the data fsync, accepting that a
+// power loss may keep the previous file — only acceptable when the
+// previous file is an equally valid answer (checkpoint replaces).
+func (s *Store) atomicWrite(id, name string, data []byte, syncEntries bool) error {
 	s.mu.Lock()
 	frozen := s.frozen
 	s.mu.Unlock()
@@ -274,11 +294,22 @@ func (s *Store) atomicWrite(id, name string, data []byte) error {
 	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	// The rename (and, on first write, the job directory itself) lives
-	// in the directory entries: without syncing them a power loss can
-	// forget a journaled file whose data blocks were safely on disk.
+	if !syncEntries {
+		return nil
+	}
+	// The rename (and, on the job's first write, the directory itself)
+	// lives in the directory entries: without syncing them a power
+	// loss can forget a journaled file whose data blocks were safely
+	// on disk. The parent sync is needed once per job directory.
 	if err := syncDir(dir); err != nil {
 		return err
+	}
+	s.mu.Lock()
+	first := !s.syncedDirs[id]
+	s.syncedDirs[id] = true
+	s.mu.Unlock()
+	if !first {
+		return nil
 	}
 	return syncDir(filepath.Dir(dir))
 }

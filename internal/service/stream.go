@@ -161,6 +161,10 @@ func (m *Manager) pumpView(j *Job, req insitu.Request, h *viewHub) {
 				m.killHub(h)
 				return
 			}
+			// Publication is demand-driven: a live stream keeps the
+			// interest latch set so the solver publishes at every
+			// cadence check while we wait for the next snapshot.
+			j.wantSnapshot()
 			select {
 			case <-newer:
 			case <-h.nudge:
