@@ -1,5 +1,5 @@
-// Command doccheck is the offline markdown link checker CI runs over
-// docs/ and the README: every relative link must point at a file or
+// Command doccheck is the offline markdown checker CI runs over docs/
+// and the README: every relative link must point at a file or
 // directory that exists in the repo, and every #fragment must match a
 // heading anchor (GitHub slug rules) in its target document. External
 // http(s)/mailto links are skipped — CI must not flake on the
@@ -7,10 +7,19 @@
 //
 //	go run ./cmd/doccheck README.md docs
 //
-// Exits non-zero listing every broken link as file:line.
+// With -metrics <doc.md> it additionally cross-checks the metric
+// reference: every hemeserved_*/go_* metric name literal in the Go
+// source must appear in that document, so adding a Metrics field or
+// obs histogram without documenting it fails CI:
+//
+//	go run ./cmd/doccheck -metrics docs/OBSERVABILITY.md README.md docs
+//
+// Exits non-zero listing every broken link / undocumented metric as
+// file:line.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io/fs"
 	"os"
@@ -31,12 +40,14 @@ var (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: doccheck <file-or-dir>...")
+	metricsDoc := flag.String("metrics", "", "metric reference document; every hemeserved_*/go_* name literal in the Go source must appear in it")
+	flag.Parse()
+	if flag.NArg() < 1 && *metricsDoc == "" {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-metrics doc.md] <file-or-dir>...")
 		os.Exit(2)
 	}
 	var files []string
-	for _, arg := range os.Args[1:] {
+	for _, arg := range flag.Args() {
 		st, err := os.Stat(arg)
 		if err != nil {
 			fail(err)
@@ -90,6 +101,67 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("doccheck: %d links ok across %d files\n", checked, len(files))
+
+	if *metricsDoc != "" {
+		if err := checkMetricsDoc(*metricsDoc); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// metricNameRe matches quoted metric-name literals in Go source. Base
+// names count: the exposition writers append _seconds / _p50_ns etc.
+// programmatically, and the doc lists the full serveable names, which
+// contain the base as a substring.
+var metricNameRe = regexp.MustCompile(`"((?:hemeserved|go)_[a-z0-9_]+)"`)
+
+// checkMetricsDoc scans every non-test .go file under internal/ and
+// cmd/ for metric name literals and fails when one is missing from the
+// metric reference document.
+func checkMetricsDoc(doc string) error {
+	ref, err := os.ReadFile(doc)
+	if err != nil {
+		return err
+	}
+	refText := string(ref)
+	type miss struct{ file, name string }
+	var missing []miss
+	seen := map[string]bool{}
+	total := 0
+	for _, root := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return err
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			for _, m := range metricNameRe.FindAllStringSubmatch(string(src), -1) {
+				name := m[1]
+				if seen[name] {
+					continue
+				}
+				seen[name] = true
+				total++
+				if !strings.Contains(refText, name) {
+					missing = append(missing, miss{path, name})
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if len(missing) > 0 {
+		for _, m := range missing {
+			fmt.Printf("%s: metric %q not documented in %s\n", m.file, m.name, doc)
+		}
+		return fmt.Errorf("%d undocumented metric(s); add them to %s", len(missing), doc)
+	}
+	fmt.Printf("doccheck: %d metric names documented in %s\n", total, doc)
+	return nil
 }
 
 // checkTarget validates one link target relative to the markdown file

@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/service/store"
 )
@@ -57,24 +58,32 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 64, "default checkpoint cadence in steps for jobs that leave checkpoint_every at 0 (-1 = no default; jobs may still opt in)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it on loopback)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown window")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
+
+	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hemeserved:", err)
+		os.Exit(2)
+	}
 
 	if *pprofAddr != "" {
 		// Opt-in profiling endpoint, separate from the API listener so
 		// operators can firewall it independently.
 		go func() {
-			fmt.Fprintln(os.Stderr, "hemeserved: pprof:", http.ListenAndServe(*pprofAddr, nil))
+			log.Error("pprof listener exited", "err", http.ListenAndServe(*pprofAddr, nil))
 		}()
-		fmt.Printf("hemeserved: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+		log.Info("pprof enabled", "url", fmt.Sprintf("http://%s/debug/pprof/", *pprofAddr))
 	}
 
 	var st *store.Store
 	if *dataDir != "" {
-		var err error
 		if st, err = store.Open(*dataDir); err != nil {
-			fmt.Fprintln(os.Stderr, "hemeserved:", err)
+			log.Error("opening data dir failed", "err", err)
 			os.Exit(1)
 		}
+		st.SetLogger(log)
 	}
 	metrics := &service.Metrics{}
 	mgr := service.NewManagerOpts(service.Options{
@@ -86,27 +95,27 @@ func main() {
 		Metrics:         metrics,
 		Store:           st,
 		CheckpointEvery: *checkpointEvery,
+		Logger:          log,
 	})
 	if st != nil {
-		fmt.Printf("hemeserved: data dir %s: recovered %d jobs (%d re-queued)\n",
-			*dataDir, metrics.JobsRecovered.Load(), metrics.JobRestarts.Load())
+		log.Info("store recovered", "data_dir", *dataDir,
+			"jobs", metrics.JobsRecovered.Load(), "requeued", metrics.JobRestarts.Load())
 	}
 	srv := service.NewServer(mgr)
 	if err := srv.Start(*addr); err != nil {
-		fmt.Fprintln(os.Stderr, "hemeserved:", err)
+		log.Error("listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
-	fmt.Printf("hemeserved: listening on http://%s (%d workers, queue %d)\n",
-		srv.Addr(), *workers, *queue)
+	log.Info("listening", "url", "http://"+srv.Addr(), "workers", *workers, "queue", *queue)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("hemeserved: shutting down")
+	log.Info("shutting down", "grace", *grace)
 	ctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "hemeserved: shutdown:", err)
+		log.Error("shutdown incomplete", "err", err)
 		os.Exit(1)
 	}
 }

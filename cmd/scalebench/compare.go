@@ -41,6 +41,8 @@ func compareReports(oldPath, newPath string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	printMeta(w, "old", oldRep)
+	printMeta(w, "new", newRep)
 	for _, spec := range compareSpecs {
 		oldRows, okO := sectionRows(oldRep, spec.section)
 		newRows, okN := sectionRows(newRep, spec.section)
@@ -75,6 +77,23 @@ func compareReports(oldPath, newPath string, w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// printMeta shows one report's run-environment stamp. Reports from
+// before the stamp existed print nothing for that side.
+func printMeta(w io.Writer, which string, rep map[string]any) {
+	meta, ok := rep["meta"].(map[string]any)
+	if !ok {
+		return
+	}
+	keys := []string{"go_version", "goos", "goarch", "gomaxprocs", "num_cpu", "ranks", "steps", "scale"}
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		if v, ok := meta[k]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+		}
+	}
+	fmt.Fprintf(w, "meta %s: %s\n", which, strings.Join(parts, " "))
 }
 
 func loadReport(path string) (map[string]any, error) {

@@ -12,11 +12,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
 )
+
+// runMeta stamps each BENCH_*.json with the environment it ran in —
+// two reports whose meta differs are measuring machines, not code, and
+// -compare prints both so the reader sees that before the deltas.
+type runMeta struct {
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	Ranks      string  `json:"ranks"`
+	Steps      int     `json:"steps"`
+	Scale      float64 `json:"scale"`
+}
 
 // jsonPoint is one machine-readable scaling measurement, the trajectory
 // format future PRs record as BENCH_*.json.
@@ -156,9 +171,19 @@ func main() {
 	fmt.Print(experiments.FormatScaling(rows, false))
 
 	report := map[string]any{
-		"bench":  "scalebench",
-		"steps":  cfg.Steps,
-		"scale":  cfg.Scale,
+		"bench": "scalebench",
+		"steps": cfg.Steps,
+		"scale": cfg.Scale,
+		"meta": runMeta{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			Ranks:      *ranksFlag,
+			Steps:      cfg.Steps,
+			Scale:      cfg.Scale,
+		},
 		"strong": toJSONPoints(rows),
 	}
 

@@ -115,7 +115,11 @@ func main() {
 	if err := os.WriteFile("service_frame.png", frames[0], 0o644); err == nil {
 		fmt.Println("wrote service_frame.png")
 	}
-	fmt.Print(string(get(base + "/metrics")))
+	fmt.Print(string(get(base + "/metrics?format=flat")))
+
+	// The flight recorder has been tracking every job all along: tail
+	// the steered job's event trace and break down where its time goes.
+	printEvents(base, ids[0])
 
 	// Graceful stop cancels what is still running.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -190,6 +194,66 @@ func durabilityDemo() {
 		j2.Step(), ckptStep, j2.State())
 	mgr2.Close()
 	fmt.Println("durable daemon shut down")
+}
+
+// printEvents tails a job's flight recorder (/jobs/{id}/events) and
+// prints the last few events plus a per-phase timing breakdown
+// aggregated from the timed events in the ring.
+func printEvents(base, id string) {
+	var rep struct {
+		Total  uint64 `json:"total"`
+		Events []struct {
+			Seq    uint64 `json:"seq"`
+			Type   string `json:"type"`
+			Step   int    `json:"step"`
+			DurNs  int64  `json:"dur_ns"`
+			Detail string `json:"detail"`
+		} `json:"events"`
+	}
+	getJSON(base+"/api/v1/jobs/"+id+"/events", &rep)
+	fmt.Printf("\n-- flight recorder: %s (%d events total, ring holds %d) --\n",
+		id, rep.Total, len(rep.Events))
+	tail := rep.Events
+	if len(tail) > 5 {
+		tail = tail[len(tail)-5:]
+	}
+	for _, ev := range tail {
+		line := fmt.Sprintf("  #%-4d %-22s", ev.Seq, ev.Type)
+		if ev.Step > 0 {
+			line += fmt.Sprintf(" step=%-6d", ev.Step)
+		}
+		if ev.DurNs > 0 {
+			line += fmt.Sprintf(" dur=%v", time.Duration(ev.DurNs))
+		}
+		if ev.Detail != "" {
+			line += " " + ev.Detail
+		}
+		fmt.Println(line)
+	}
+	type agg struct {
+		n   int
+		sum int64
+	}
+	phases := map[string]*agg{}
+	for _, ev := range rep.Events {
+		if ev.DurNs <= 0 {
+			continue
+		}
+		a := phases[ev.Type]
+		if a == nil {
+			a = &agg{}
+			phases[ev.Type] = a
+		}
+		a.n++
+		a.sum += ev.DurNs
+	}
+	fmt.Println("  phase breakdown (from ring):")
+	for _, ph := range []string{"phase-step", "phase-gather", "phase-checkpoint", "checkpoint-write-end"} {
+		if a := phases[ph]; a != nil {
+			fmt.Printf("    %-22s %3d samples, mean %v\n",
+				ph, a.n, time.Duration(a.sum/int64(a.n)))
+		}
+	}
 }
 
 // streamSteps subscribes to an SSE frame feed and returns the solver

@@ -16,6 +16,7 @@ import (
 	"repro/internal/insitu"
 	"repro/internal/lattice"
 	"repro/internal/lb"
+	"repro/internal/obs"
 	"repro/internal/octree"
 	"repro/internal/par"
 	"repro/internal/partition"
@@ -108,6 +109,16 @@ type Config struct {
 	// rather than bytes keeps resume at one parse total: the caller
 	// decodes (and thereby CRC-checks) once, every rank shares it.
 	Restore *lb.CheckpointState
+	// Phases, when set, receives sampled phase timings on rank 0: step
+	// duration every PhaseSampleEvery steps, plus every command-word
+	// broadcast wait, snapshot field gather and checkpoint state
+	// gather. The observer runs on the stepping goroutine and must be
+	// allocation-free (obs histograms and the flight recorder are).
+	Phases obs.PhaseObserver
+	// PhaseSampleEvery is the step-duration sampling cadence in steps
+	// (default 16). Collectives, gathers and checkpoint stalls are
+	// infrequent already and are always timed.
+	PhaseSampleEvery int
 	// PulseAmp/PulsePeriod add a sinusoidal modulation to the first
 	// inlet (cardiac waveform; 0 amplitude = steady).
 	PulseAmp    float64
@@ -125,6 +136,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.VizRequest.W == 0 {
 		c.VizRequest = insitu.DefaultRequest()
+	}
+	if c.PhaseSampleEvery <= 0 {
+		c.PhaseSampleEvery = 16
 	}
 	return c
 }
@@ -293,15 +307,32 @@ func (s *Simulation) Run(totalSteps int) error {
 			nextSnapCheck = (startStep/cfg.SnapshotEvery + 1) * cfg.SnapshotEvery
 		}
 		var stepTimer stats.Timer
+		// Phase observation (rank 0 only): step timing is sampled every
+		// PhaseSampleEvery steps so instrumentation stays off the
+		// steady-state hot path; the infrequent collectives are always
+		// timed. phaseStart is reused across phases — it is plain local
+		// state, no allocation.
+		observe := cfg.Phases
+		if !master {
+			observe = nil
+		}
+		var phaseStart time.Time
 
 		for step := startStep; step < totalSteps && !quit; step++ {
 			// Steering commands are handled at viz boundaries and while
 			// paused; all ranks must agree, so rank 0 broadcasts a
 			// command word each viz interval.
 			if !paused {
+				sampled := observe != nil && step%cfg.PhaseSampleEvery == 0
+				if sampled {
+					phaseStart = time.Now()
+				}
 				stepTimer.Start()
 				d.Step()
 				stepTimer.Stop()
+				if sampled {
+					observe.ObservePhase(obs.PhaseStep, d.StepCount(), time.Since(phaseStart).Nanoseconds())
+				}
 				if master && cfg.OnStep != nil {
 					cfg.OnStep(d.StepCount(), totalSteps)
 				}
@@ -474,7 +505,16 @@ func (s *Simulation) Run(totalSteps int) error {
 				cmd[9], cmd[10] = float64(req.W), float64(req.H)
 				cmd[11], cmd[12] = float64(req.Mode), float64(req.Scalar)
 			}
+			// The command broadcast doubles as the collective-wait probe:
+			// on rank 0 its duration is dominated by how long the
+			// slowest rank took to reach this boundary.
+			if observe != nil {
+				phaseStart = time.Now()
+			}
 			cmd = c.BcastF64(0, cmd)
+			if observe != nil {
+				observe.ObservePhase(obs.PhaseCollective, d.StepCount(), time.Since(phaseStart).Nanoseconds())
+			}
 			if cmd[1] == 1 {
 				quit = true
 			}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/field"
 	"repro/internal/lb"
+	"repro/internal/obs"
 	"repro/internal/octree"
 	"repro/internal/par"
 	"repro/internal/vec"
@@ -79,9 +82,17 @@ type CheckpointSink interface {
 // must call it at the same step) and hands rank 0's copy to the
 // OnSnapshot hook.
 func (s *Simulation) publishSnapshot(c *par.Comm, d *lb.Dist) {
+	master := c.Rank() == 0
+	var t0 time.Time
+	if master && s.Cfg.Phases != nil {
+		t0 = time.Now()
+	}
 	rho, ux, uy, uz, wss := d.GatherFields(0)
-	if c.Rank() != 0 {
+	if !master {
 		return
+	}
+	if s.Cfg.Phases != nil {
+		s.Cfg.Phases.ObservePhase(obs.PhaseGather, d.StepCount(), time.Since(t0).Nanoseconds())
 	}
 	s.Cfg.OnSnapshot(&Snapshot{
 		Step:  d.StepCount(),
@@ -97,11 +108,18 @@ func (s *Simulation) publishSnapshot(c *par.Comm, d *lb.Dist) {
 func (s *Simulation) checkpointDurable(c *par.Comm, d *lb.Dist) {
 	var buf *lb.CheckpointState
 	master := c.Rank() == 0
+	var t0 time.Time
 	if master {
+		if s.Cfg.Phases != nil {
+			t0 = time.Now()
+		}
 		buf = s.Cfg.Checkpoint.TakeBuffer()
 	}
 	st := d.GatherState(buf)
 	if master && st != nil {
 		s.Cfg.Checkpoint.Deliver(st)
+	}
+	if master && s.Cfg.Phases != nil {
+		s.Cfg.Phases.ObservePhase(obs.PhaseCheckpoint, d.StepCount(), time.Since(t0).Nanoseconds())
 	}
 }

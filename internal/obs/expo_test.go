@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteHistogramInvariants(t *testing.T) {
+	var h Histogram
+	for _, ns := range []int64{500, 2000, 2_000_000, 3_000_000_000} {
+		h.Observe(ns)
+	}
+	var buf bytes.Buffer
+	WriteHistogram(&buf, "x_test_duration", "help text", &h)
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE x_test_duration_seconds histogram") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	var prev int64 = -1
+	var infSeen bool
+	var count int64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "x_test_duration_seconds_bucket") {
+			v, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if v < prev {
+				t.Fatalf("bucket counts not cumulative: %q after %d", line, prev)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				infSeen = true
+				if v != h.Count() {
+					t.Errorf("+Inf bucket %d != count %d", v, h.Count())
+				}
+			}
+		}
+		if strings.HasPrefix(line, "x_test_duration_seconds_count ") {
+			count, _ = strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+		}
+	}
+	if !infSeen {
+		t.Error("no +Inf bucket emitted")
+	}
+	if count != 4 {
+		t.Errorf("count = %d, want 4", count)
+	}
+}
+
+func TestWriteHistogramSetLabels(t *testing.T) {
+	var set HistogramSet
+	set.Get("GET /api/v1/jobs/{id}").Observe(1000)
+	set.Get("POST /api/v1/jobs").Observe(2000)
+	var buf bytes.Buffer
+	WriteHistogramSet(&buf, "x_http_request_duration", "help", "route", &set)
+	out := buf.String()
+	if !strings.Contains(out, `route="GET /api/v1/jobs/{id}",le="+Inf"`) {
+		t.Errorf("missing labelled +Inf bucket:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE") != 1 {
+		t.Errorf("family must share one TYPE header:\n%s", out)
+	}
+	// Same pointer back for the same label — handlers cache it.
+	if set.Get("POST /api/v1/jobs") != set.Get("POST /api/v1/jobs") {
+		t.Error("Get not stable for equal labels")
+	}
+}
+
+func TestWriteHistogramFlat(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(1_000_000)
+	}
+	var buf bytes.Buffer
+	WriteHistogramFlat(&buf, "x_render_latency", &h)
+	for _, want := range []string{"x_render_latency_p50_ns ", "x_render_latency_p95_ns ", "x_render_latency_p99_ns ", "x_render_latency_count 100"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("flat output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestFlatLabel(t *testing.T) {
+	for in, want := range map[string]string{
+		"GET /api/v1/jobs/{id}/events": "get_api_v1_jobs_id_events",
+		"POST /api/v1/jobs":            "post_api_v1_jobs",
+		"GET /metrics":                 "get_metrics",
+	} {
+		if got := flatLabel(in); got != want {
+			t.Errorf("flatLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteRuntimeMetricsFlatParses(t *testing.T) {
+	var buf bytes.Buffer
+	WriteRuntimeMetrics(&buf, true)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few runtime metrics: %v", lines)
+	}
+	for _, line := range lines {
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			t.Fatalf("flat line %q not `name value`", line)
+		}
+		if _, err := strconv.ParseFloat(f[1], 64); err != nil {
+			t.Fatalf("flat line %q: %v", line, err)
+		}
+	}
+}

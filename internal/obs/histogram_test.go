@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1024)    // still bucket 0
+	h.Observe(1025)    // bucket 1
+	h.Observe(2048)    // bucket 1
+	h.Observe(1 << 40) // far overflow
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Bucket(0); got != 2 {
+		t.Errorf("bucket 0 = %d, want 2", got)
+	}
+	if got := h.Bucket(1); got != 2 {
+		t.Errorf("bucket 1 = %d, want 2", got)
+	}
+	if got := h.Bucket(histOverflow); got != 1 {
+		t.Errorf("overflow bucket = %d, want 1", got)
+	}
+	wantSum := int64(0 + 1024 + 1025 + 2048 + 1<<40)
+	if got := h.SumNs(); got != wantSum {
+		t.Errorf("sum = %d, want %d", got, wantSum)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if got := h.Bucket(0); got != 1 {
+		t.Errorf("negative value landed in bucket 0? got %d", got)
+	}
+	if got := h.SumNs(); got != 0 {
+		t.Errorf("sum = %d, want 0", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram p50 = %d, want 0", q)
+	}
+	// 100 observations at ~1ms, 1 at ~1s: p50 must sit in the 1ms
+	// band, p99+ must not be dragged to zero nor explode past the 1s
+	// bucket's bound.
+	for i := 0; i < 100; i++ {
+		h.Observe(1_000_000)
+	}
+	h.Observe(1_000_000_000)
+	p50 := h.Quantile(0.50)
+	if p50 < 500_000 || p50 > 2_000_000 {
+		t.Errorf("p50 = %dns, want within the ~1ms bucket band", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 500_000_000 || p999 > 2_000_000_000 {
+		t.Errorf("p99.9 = %dns, want within the ~1s bucket band", p999)
+	}
+	// Quantiles are monotone in p.
+	if h.Quantile(0.95) < p50 {
+		t.Errorf("p95 %d < p50 %d", h.Quantile(0.95), p50)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(seed*1000 + int64(i))
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	var cum int64
+	for i := 0; i < histSlotCount; i++ {
+		cum += h.Bucket(i)
+	}
+	if cum != workers*per {
+		t.Fatalf("bucket total = %d, want %d", cum, workers*per)
+	}
+}
+
+// TestObserveAllocationFree guards the hot-path promise: folding a
+// sample into a histogram must not allocate.
+func TestObserveAllocationFree(t *testing.T) {
+	var h Histogram
+	if allocs := testing.AllocsPerRun(100, func() { h.Observe(123456) }); allocs != 0 {
+		t.Errorf("Observe allocates %.1f objects, want 0", allocs)
+	}
+}

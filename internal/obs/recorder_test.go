@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecorderFillAndOrder(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 1; i <= 5; i++ {
+		r.Record(EvSubmitted, i, 0, "")
+	}
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("len = %d, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) || ev.Step != i+1 {
+			t.Errorf("event %d: seq=%d step=%d, want %d/%d", i, ev.Seq, ev.Step, i+1, i+1)
+		}
+	}
+	last, ok := r.Last()
+	if !ok || last.Seq != 5 {
+		t.Errorf("Last = %+v ok=%v, want seq 5", last, ok)
+	}
+}
+
+// TestRecorderWrap: recording past capacity keeps exactly the newest
+// size events, still in chronological order, with seq counting the
+// overwritten ones.
+func TestRecorderWrap(t *testing.T) {
+	const size = 16
+	r := NewRecorder(size)
+	for i := 1; i <= 50; i++ {
+		r.Record(EvDispatched, i, 0, "")
+	}
+	if r.Seq() != 50 {
+		t.Fatalf("seq = %d, want 50", r.Seq())
+	}
+	evs := r.Events()
+	if len(evs) != size {
+		t.Fatalf("len = %d, want %d", len(evs), size)
+	}
+	for i, ev := range evs {
+		want := uint64(50 - size + 1 + i)
+		if ev.Seq != want {
+			t.Fatalf("event %d: seq=%d, want %d", i, ev.Seq, want)
+		}
+	}
+	last, _ := r.Last()
+	if last.Seq != 50 {
+		t.Errorf("Last seq = %d, want 50", last.Seq)
+	}
+}
+
+// TestRecorderConcurrent hammers Record from several goroutines while
+// others snapshot — meaningful mainly under -race, and asserting the
+// ring's invariants hold through the churn.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(32)
+	const workers, per = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record(EvSnapshotPublish, i, int64(i), "")
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				evs := r.Events()
+				for j := 1; j < len(evs); j++ {
+					if evs[j].Seq <= evs[j-1].Seq {
+						t.Errorf("events out of order: %d then %d", evs[j-1].Seq, evs[j].Seq)
+						return
+					}
+				}
+				_, _ = r.Last()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Seq() != workers*per {
+		t.Fatalf("seq = %d, want %d", r.Seq(), workers*per)
+	}
+	if got := len(r.Events()); got != 32 {
+		t.Fatalf("ring holds %d, want 32", got)
+	}
+}
+
+// TestRecordAllocationFree: recording a constant-string event into a
+// warm ring must not allocate — it sits on the solver's sampled path.
+func TestRecordAllocationFree(t *testing.T) {
+	r := NewRecorder(16)
+	for i := 0; i < 20; i++ {
+		r.Record(EvSnapshotSkip, i, 0, "") // fill: appends done, pure overwrite from here
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		r.Record(PhaseEventName(PhaseStep), 7, 1234, "")
+	}); allocs != 0 {
+		t.Errorf("Record allocates %.1f objects, want 0", allocs)
+	}
+}

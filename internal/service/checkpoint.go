@@ -2,10 +2,12 @@ package service
 
 import (
 	"bytes"
+	"log/slog"
 	"sync"
 	"time"
 
 	"repro/internal/lb"
+	"repro/internal/obs"
 )
 
 // checkpointPutter is the slice of the store the writer needs —
@@ -38,6 +40,10 @@ type ckptWriter struct {
 	store   checkpointPutter
 	id      string
 	metrics *Metrics
+	// rec (optional) receives checkpoint events in the job's flight
+	// recorder; log is never nil.
+	rec *obs.Recorder
+	log *slog.Logger
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -55,9 +61,13 @@ type ckptWriter struct {
 	done chan struct{}
 }
 
-// newCkptWriter starts the writer goroutine for one job.
-func newCkptWriter(store checkpointPutter, id string, metrics *Metrics) *ckptWriter {
-	w := &ckptWriter{store: store, id: id, metrics: metrics, done: make(chan struct{})}
+// newCkptWriter starts the writer goroutine for one job. rec and log
+// may be nil (no flight recorder / discarded logs).
+func newCkptWriter(store checkpointPutter, id string, metrics *Metrics, rec *obs.Recorder, log *slog.Logger) *ckptWriter {
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	w := &ckptWriter{store: store, id: id, metrics: metrics, rec: rec, log: log, done: make(chan struct{})}
 	w.cond = sync.NewCond(&w.mu)
 	go w.loop()
 	return w
@@ -79,6 +89,9 @@ func (w *ckptWriter) TakeBuffer() *lb.CheckpointState {
 	if st := w.pending; st != nil {
 		w.pending = nil
 		w.metrics.CheckpointsCoalesced.Add(1)
+		if w.rec != nil {
+			w.rec.Record(obs.EvCheckpointCoalesced, st.Info.Step, 0, "")
+		}
 		return st
 	}
 	return nil
@@ -144,18 +157,30 @@ func (w *ckptWriter) loop() {
 	}
 }
 
-// write encodes one state into the reusable buffer and persists it.
-// Failures are counted, not fatal: the job keeps its previous
-// checkpoint, exactly as the synchronous path behaved.
+// write encodes one state into the reusable buffer and persists it,
+// timing the full encode+fsync into the CheckpointWrite histogram.
+// Failures are counted and logged, not fatal: the job keeps its
+// previous checkpoint, exactly as the synchronous path behaved.
 func (w *ckptWriter) write(st *lb.CheckpointState) {
+	start := time.Now()
+	if w.rec != nil {
+		w.rec.Record(obs.EvCheckpointStart, st.Info.Step, 0, "")
+	}
 	w.enc.Reset()
 	if err := st.EncodeTo(&w.enc); err != nil {
 		w.metrics.StoreErrors.Add(1)
+		w.log.Warn("checkpoint encode failed", "step", st.Info.Step, "err", err)
 		return
 	}
 	if err := w.store.PutCheckpoint(w.id, w.enc.Bytes()); err != nil {
 		w.metrics.StoreErrors.Add(1)
+		w.log.Warn("checkpoint write failed", "step", st.Info.Step, "err", err)
 		return
+	}
+	dur := time.Since(start).Nanoseconds()
+	w.metrics.CheckpointWrite.Observe(dur)
+	if w.rec != nil {
+		w.rec.Record(obs.EvCheckpointEnd, st.Info.Step, dur, "")
 	}
 	w.metrics.CheckpointsWritten.Add(1)
 	w.metrics.CheckpointBytes.Add(int64(w.enc.Len()))

@@ -33,25 +33,39 @@ type Server struct {
 }
 
 // NewServer wires the API over a manager, sharing its frame cache.
+// Every route is registered through a per-route latency wrapper: the
+// route pattern is the histogram label, captured at registration so
+// the hot path does one HistogramSet lookup per server lifetime, not
+// per request.
 func NewServer(mgr *Manager) *Server {
 	s := &Server{mgr: mgr, cache: mgr.Cache(), closing: make(chan struct{})}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
-	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGet)
-	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
-	mux.HandleFunc("POST /api/v1/jobs/{id}/pause", s.handlePause)
-	mux.HandleFunc("POST /api/v1/jobs/{id}/resume", s.handleResume)
-	mux.HandleFunc("POST /api/v1/jobs/{id}/steer", s.handleSteer)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/status", s.handleStatus)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/frame", s.handleFrame)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/data", s.handleData)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	handle := func(pattern string, h http.HandlerFunc) {
+		hist := mgr.Metrics().HTTPLatency.Get(pattern)
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+			h(sw, r)
+			hist.Observe(time.Since(start).Nanoseconds())
+			mgr.log.Debug("http request", "route", pattern, "path", r.URL.Path,
+				"status", sw.code, "dur", time.Since(start))
+		})
+	}
+	handle("POST /api/v1/jobs", s.handleSubmit)
+	handle("GET /api/v1/jobs", s.handleList)
+	handle("GET /api/v1/jobs/{id}", s.handleGet)
+	handle("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	handle("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	handle("POST /api/v1/jobs/{id}/pause", s.handlePause)
+	handle("POST /api/v1/jobs/{id}/resume", s.handleResume)
+	handle("POST /api/v1/jobs/{id}/steer", s.handleSteer)
+	handle("GET /api/v1/jobs/{id}/status", s.handleStatus)
+	handle("GET /api/v1/jobs/{id}/frame", s.handleFrame)
+	handle("GET /api/v1/jobs/{id}/stream", s.handleStream)
+	handle("GET /api/v1/jobs/{id}/data", s.handleData)
+	handle("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /healthz", s.handleHealthz)
 	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.mgr.Metrics().HTTPRequests.Add(1)
 		mux.ServeHTTP(w, r)
@@ -59,6 +73,38 @@ func NewServer(mgr *Manager) *Server {
 	s.http = &http.Server{Handler: counted, ReadHeaderTimeout: 10 * time.Second}
 	return s
 }
+
+// statusWriter captures the response code for logging while passing
+// Flush/Unwrap through, so SSE streaming keeps working behind the
+// latency middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code        int
+	wroteHeader bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wroteHeader {
+		w.code = code
+		w.wroteHeader = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wroteHeader = true
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.NewResponseController reach the underlying writer's
+// deadline and flush hooks.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // Cache exposes the frame cache (for tests and in-process callers).
 func (s *Server) Cache() *FrameCache { return s.cache }
@@ -286,9 +332,50 @@ func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
 	w.Write(nodes)
 }
 
+// handleEvents serves the job's flight recorder: the most recent ring
+// of lifecycle/phase events plus the total ever emitted (a first
+// returned seq above 1 means older events were overwritten). Works for
+// queued, live and terminal jobs alike — the ring outlives the run.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	events := j.rec.Events()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"job":    j.ID,
+		"state":  j.State(),
+		"total":  j.rec.Seq(),
+		"events": events,
+	})
+}
+
+// handleHealthz answers 200 while the service accepts work and 503
+// once shutdown begins (server draining or manager closed), so load
+// balancers stop routing before in-flight connections finish.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	draining := s.mgr.Draining()
+	select {
+	case <-s.closing:
+		draining = true
+	default:
+	}
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// handleMetrics serves Prometheus text exposition by default; the
+// pre-histogram flat `name value` form survives under ?format=flat.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.mgr.Metrics().WriteTo(w)
+	if r.URL.Query().Get("format") == "flat" {
+		s.mgr.Metrics().WriteTo(w)
+		return
+	}
+	s.mgr.Metrics().WritePrometheus(w)
 }
 
 // frameRequest parses the render query parameters, defaulting to the

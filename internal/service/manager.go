@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log/slog"
 	"strconv"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/insitu"
+	"repro/internal/obs"
 	"repro/internal/octree"
 	"repro/internal/render"
 	"repro/internal/service/store"
@@ -67,6 +69,13 @@ type Job struct {
 
 	ctrl *steering.Controller
 	step atomic.Int64
+
+	// rec is the job's flight recorder: a fixed ring of lifecycle and
+	// phase events behind GET /jobs/{id}/events. Set once at creation,
+	// internally synchronised — read it without j.mu.
+	rec *obs.Recorder
+	// log is the job-scoped structured logger (manager logger + job id).
+	log *slog.Logger
 
 	mu       sync.Mutex
 	state    JobState
@@ -211,6 +220,12 @@ type JobInfo struct {
 	Recovered       bool `json:"recovered,omitempty"`
 	Restarts        int  `json:"restarts,omitempty"`
 	ResumedFromStep int  `json:"resumed_from_step,omitempty"`
+	// Events is the total count of flight-recorder events the job has
+	// emitted (the ring keeps the most recent ones; GET
+	// /jobs/{id}/events returns them); LastEvent is the newest one's
+	// type.
+	Events    uint64 `json:"events,omitempty"`
+	LastEvent string `json:"last_event,omitempty"`
 }
 
 // Info snapshots the job for serialisation.
@@ -238,6 +253,12 @@ func (j *Job) Info() JobInfo {
 	}
 	if !j.finished.IsZero() {
 		info.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.rec != nil {
+		info.Events = j.rec.Seq()
+		if last, ok := j.rec.Last(); ok {
+			info.LastEvent = last.Type
+		}
 	}
 	return info
 }
@@ -313,6 +334,12 @@ type Options struct {
 	// -1 means no default checkpointing (specs can still opt in with
 	// an explicit positive checkpoint_every). Ignored without Store.
 	CheckpointEvery int
+	// Logger receives the manager's structured log stream (job
+	// lifecycle, recovery, store failures). Nil discards everything.
+	Logger *slog.Logger
+	// EventRing sizes each job's flight-recorder ring (default
+	// obs.DefaultRingSize).
+	EventRing int
 }
 
 // Manager owns the bounded submission queue, the concurrency slots the
@@ -320,6 +347,8 @@ type Options struct {
 // cache) every transport shares.
 type Manager struct {
 	metrics *Metrics
+	log     *slog.Logger
+	ringSz  int
 	// store is the durability layer (nil = in-memory only); ckptEvery
 	// is the default checkpoint cadence for specs that don't set one.
 	store     *store.Store
@@ -380,6 +409,9 @@ func NewManagerOpts(o Options) *Manager {
 	if o.Metrics == nil {
 		o.Metrics = &Metrics{}
 	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
+	}
 	switch {
 	case o.CheckpointEvery == 0:
 		o.CheckpointEvery = 64
@@ -388,6 +420,8 @@ func NewManagerOpts(o Options) *Manager {
 	}
 	m := &Manager{
 		metrics:   o.Metrics,
+		log:       o.Logger,
+		ringSz:    o.EventRing,
 		store:     o.Store,
 		ckptEvery: o.CheckpointEvery,
 		slots:     make(chan struct{}, o.Workers),
@@ -431,6 +465,7 @@ func (m *Manager) recoverFromStore() []*Job {
 	ids, err := m.store.Jobs()
 	if err != nil {
 		m.metrics.StoreErrors.Add(1)
+		m.log.Error("recovery: listing jobs failed", "err", err)
 		return nil
 	}
 	var pending []*Job
@@ -465,11 +500,14 @@ func (m *Manager) recoverFromStore() []*Job {
 			ID:        id,
 			Spec:      spec.withDefaults(),
 			ctrl:      steering.NewController(),
+			rec:       obs.NewRecorder(m.ringSz),
+			log:       m.log.With("job", id),
 			created:   rec.CreatedAt,
 			recovered: true,
 			restarts:  rec.Restarts,
 			snapCh:    make(chan struct{}),
 		}
+		j.rec.Record(obs.EvRecovered, rec.Step, 0, rec.State)
 		if st := JobState(rec.State); st.Terminal() {
 			j.step.Store(int64(rec.Step))
 			j.state = st
@@ -478,6 +516,7 @@ func (m *Manager) recoverFromStore() []*Job {
 			j.finished = rec.FinishedAt
 			j.ctrl.Close()
 			j.sealSnapshots()
+			j.log.Info("recovered finished job", "state", rec.State, "step", rec.Step)
 		} else {
 			j.state = StateQueued
 			j.restarts++
@@ -494,8 +533,11 @@ func (m *Manager) recoverFromStore() []*Job {
 				// Interrupted before its first checkpoint is normal;
 				// anything else is a corrupt file we fall back from.
 				m.metrics.CheckpointsInvalid.Add(1)
+				j.log.Warn("checkpoint failed verification at recovery; restarting from step 0", "err", err)
 			}
 			m.metrics.JobRestarts.Add(1)
+			j.log.Info("re-queued interrupted job", "interrupted_state", rec.State,
+				"restarts", j.restarts, "resume_step", j.resumeStep)
 			pending = append(pending, j)
 		}
 		m.jobs[id] = j
@@ -563,6 +605,7 @@ func (m *Manager) persistState(j *Job) {
 	}
 	if err := m.store.PutState(j.ID, rec); err != nil {
 		m.metrics.StoreErrors.Add(1)
+		j.log.Warn("journaling state failed", "state", rec.State, "err", err)
 	}
 }
 
@@ -598,6 +641,15 @@ func (m *Manager) checkpointCadence(sp JobSpec) int {
 // Metrics exposes the counter set shared with the HTTP layer.
 func (m *Manager) Metrics() *Metrics { return m.metrics }
 
+// Draining reports whether Close has begun: the manager no longer
+// accepts work, so health checks should fail and load balancers stop
+// routing here.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
 // Cache exposes the shared frame cache.
 func (m *Manager) Cache() *FrameCache { return m.cache }
 
@@ -629,6 +681,8 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		created: time.Now(),
 		snapCh:  make(chan struct{}),
 	}
+	j.rec = obs.NewRecorder(m.ringSz)
+	j.log = m.log.With("job", j.ID)
 	// Reserve the queue slot, then journal outside the lock: the
 	// fsync-backed writes must not stall every other API call behind
 	// m.mu. The reservation keeps occupancy <= queuedLen, so the later
@@ -673,6 +727,8 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	m.order = append(m.order, j.ID)
 	m.mu.Unlock()
 	m.metrics.JobsSubmitted.Add(1)
+	j.rec.Record(obs.EvSubmitted, 0, 0, spec.Preset)
+	j.log.Info("job submitted", "preset", spec.Preset, "ranks", spec.Ranks, "steps", spec.Steps)
 	return j, nil
 }
 
@@ -734,6 +790,36 @@ func (m *Manager) releaseJobSlot(j *Job) {
 	}
 }
 
+// jobObserver routes the solver's rank-0 phase timings into the shared
+// latency histograms and the job's flight recorder. It runs on the
+// stepping goroutine and must stay allocation-free: histogram folds are
+// atomic adds, recorder writes copy constant strings into a warm ring.
+type jobObserver struct {
+	m *Metrics
+	j *Job
+}
+
+func (o jobObserver) ObservePhase(p obs.Phase, step int, ns int64) {
+	switch p {
+	case obs.PhaseStep:
+		o.m.StepDuration.Observe(ns)
+	case obs.PhaseCollective:
+		o.m.CollectiveWait.Observe(ns)
+	case obs.PhaseGather:
+		o.m.FieldGather.Observe(ns)
+	case obs.PhaseCheckpoint:
+		// The same in-loop time CheckpointStallNs accumulates (over in
+		// ckptWriter.Deliver) — histogram only here, no double count.
+		o.m.CheckpointGather.Observe(ns)
+	}
+	// The command-word broadcast happens every step; recording each one
+	// would wash every lifecycle event out of the ring, so the
+	// collective phase stays histogram-only.
+	if p != obs.PhaseCollective {
+		o.j.rec.Record(obs.PhaseEventName(p), step, ns, "")
+	}
+}
+
 // run executes one job to a terminal state.
 func (m *Manager) run(j *Job) {
 	defer m.wg.Done()
@@ -759,9 +845,11 @@ func (m *Manager) run(j *Job) {
 		return
 	}
 	cfg.Controller = j.ctrl
+	cfg.Phases = jobObserver{m: m.metrics, j: j}
 	cfg.OnStep = func(step, total int) { j.step.Store(int64(step)) }
 	cfg.OnSnapshot = func(s *core.Snapshot) {
 		m.metrics.SnapshotsTotal.Add(1)
+		j.rec.Record(obs.EvSnapshotPublish, s.Step, 0, "")
 		j.publishSnapshot(s)
 	}
 	// Demand-driven publication: the solver gathers a snapshot only
@@ -773,6 +861,7 @@ func (m *Manager) run(j *Job) {
 			return true
 		}
 		m.metrics.SnapshotsSkipped.Add(1)
+		j.rec.Record(obs.EvSnapshotSkip, j.Step(), 0, "")
 		return false
 	}
 	// Durable checkpoints ride a per-job writer goroutine: the solver
@@ -783,7 +872,7 @@ func (m *Manager) run(j *Job) {
 	var writer *ckptWriter
 	if every := m.checkpointCadence(j.Spec); every > 0 {
 		cfg.CheckpointEvery = every
-		writer = newCkptWriter(m.store, j.ID, m.metrics)
+		writer = newCkptWriter(m.store, j.ID, m.metrics, j.rec, j.log)
 		cfg.Checkpoint = writer
 	}
 	// A recovered job resumes from its journaled checkpoint, re-read
@@ -823,7 +912,14 @@ func (m *Manager) run(j *Job) {
 	j.mu.Lock()
 	j.sim = sim
 	j.numSites = sim.Dom.NumSites()
+	resumeStep = j.resumeStep
 	j.mu.Unlock()
+	detail := ""
+	if resumeStep > 0 {
+		detail = "resumed from checkpoint"
+	}
+	j.rec.Record(obs.EvDispatched, resumeStep, 0, detail)
+	j.log.Info("job dispatched", "sites", sim.Dom.NumSites(), "resume_step", resumeStep)
 	runErr := sim.Run(j.Spec.Steps)
 	if writer != nil {
 		// A job headed for re-queue (shutdown drain) flushes its last
@@ -865,11 +961,22 @@ func (m *Manager) finish(j *Job, runErr error, completed bool) {
 		j.state = StateDone
 		m.metrics.JobsDone.Add(1)
 	}
+	detail := string(j.state)
+	if j.errMsg != "" {
+		detail += ": " + j.errMsg
+	}
+	finalStep := int(j.step.Load())
 	// A cancel that Close issued while draining is an interruption,
 	// not an outcome: leaving the store's record at running/paused is
 	// exactly what re-queues the job on the next boot.
 	skipJournal := j.shutdownCancel && j.state == StateCancelled
 	j.mu.Unlock()
+	j.rec.Record(obs.EvTerminal, finalStep, 0, detail)
+	if runErr != nil {
+		j.log.Error("job failed", "step", finalStep, "err", runErr)
+	} else {
+		j.log.Info("job finished", "state", detail, "step", finalStep)
+	}
 	if !skipJournal {
 		m.persistState(j)
 	}
@@ -911,6 +1018,8 @@ func (m *Manager) Pause(j *Job) error {
 	if freeSlot {
 		m.releaseJobSlot(j)
 		m.persistStateAsync(j)
+		j.rec.Record(obs.EvPause, j.Step(), 0, "")
+		j.log.Info("job paused", "step", j.Step())
 	}
 	return nil
 }
@@ -951,6 +1060,8 @@ func (m *Manager) Resume(ctx context.Context, j *Job) error {
 	}
 	if resumed {
 		m.persistStateAsync(j)
+		j.rec.Record(obs.EvResume, j.Step(), 0, "")
+		j.log.Info("job resumed", "step", j.Step())
 	}
 	return err
 }
@@ -981,6 +1092,8 @@ func (m *Manager) cancel(j *Job, user bool) error {
 		skipJournal := j.shutdownCancel
 		j.mu.Unlock()
 		m.metrics.JobsCancelled.Add(1)
+		j.rec.Record(obs.EvTerminal, 0, 0, "cancelled while queued")
+		j.log.Info("job cancelled while queued")
 		if !skipJournal {
 			m.persistState(j)
 		}
@@ -1125,6 +1238,7 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
+	m.log.Info("manager draining", "jobs", len(m.jobs))
 	jobs := make([]*Job, 0, len(m.jobs))
 	for _, j := range m.jobs {
 		jobs = append(jobs, j)

@@ -4,10 +4,15 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
-// Metrics are the service's counters and gauges, exposed at /metrics
-// in the flat `name value` text form scrapers expect.
+// Metrics are the service's counters, gauges and latency histograms.
+// /metrics serves them in Prometheus text exposition by default and in
+// the legacy flat `name value` form under ?format=flat; the histogram
+// base names below grow a _seconds suffix (Prometheus) or
+// _p50_ns/_p95_ns/_p99_ns/_count/_sum_ns suffixes (flat).
 type Metrics struct {
 	JobsSubmitted  atomic.Int64
 	JobsRejected   atomic.Int64
@@ -65,6 +70,24 @@ type Metrics struct {
 	CheckpointStallNs    atomic.Int64
 	CheckpointsCoalesced atomic.Int64
 	SnapshotsSkipped     atomic.Int64
+
+	// Latency histograms (log-bucketed, nanosecond samples). The solver
+	// phase histograms fold rank-0 timings from every running job:
+	// StepDuration samples d.Step() every PhaseSampleEvery steps,
+	// CollectiveWait times the per-step command-word broadcast,
+	// FieldGather the snapshot field gather, CheckpointGather the
+	// in-loop checkpoint state gather (the same time CheckpointStallNs
+	// accumulates). CheckpointWrite times the off-loop encode+fsync on
+	// the writer goroutine, RenderLatency the pool's submit→PNG path
+	// (the same samples FrameLatencyNs means over), and HTTPLatency is
+	// a per-route family fed by the server middleware.
+	StepDuration     obs.Histogram
+	CollectiveWait   obs.Histogram
+	FieldGather      obs.Histogram
+	CheckpointGather obs.Histogram
+	CheckpointWrite  obs.Histogram
+	RenderLatency    obs.Histogram
+	HTTPLatency      obs.HistogramSet
 }
 
 // RecordFrameLatency folds one pool render duration into the latency
@@ -74,47 +97,121 @@ func (m *Metrics) RecordFrameLatency(ns int64) {
 	m.FrameLatencyCount.Add(1)
 }
 
-// WriteTo emits the counters, satisfying the /metrics handler.
+// counterRow pairs a flat metric name with its current value plus the
+// HELP text and Prometheus type used by the exposition writer.
+type counterRow struct {
+	name string
+	v    int64
+	typ  string // "counter" or "gauge"
+	help string
+}
+
+func (m *Metrics) rows() []counterRow {
+	return []counterRow{
+		{"hemeserved_jobs_submitted_total", m.JobsSubmitted.Load(), "counter", "Jobs accepted by the manager."},
+		{"hemeserved_jobs_rejected_total", m.JobsRejected.Load(), "counter", "Job submissions rejected (validation or full queue)."},
+		{"hemeserved_jobs_done_total", m.JobsDone.Load(), "counter", "Jobs that ran to completion."},
+		{"hemeserved_jobs_failed_total", m.JobsFailed.Load(), "counter", "Jobs that ended in error."},
+		{"hemeserved_jobs_cancelled_total", m.JobsCancelled.Load(), "counter", "Jobs cancelled by users."},
+		{"hemeserved_renders_total", m.RendersTotal.Load(), "counter", "Frames rendered by the pool."},
+		{"hemeserved_frame_cache_hits_total", m.FrameCacheHits.Load(), "counter", "Frame cache hits."},
+		{"hemeserved_frame_cache_misses_total", m.FrameCacheMiss.Load(), "counter", "Frame cache misses."},
+		{"hemeserved_frame_cache_evictions_total", m.FrameCacheEvict.Load(), "counter", "Frame cache LRU evictions."},
+		{"hemeserved_frame_cache_invalidated_total", m.FrameCacheDrops.Load(), "counter", "Frame cache entries dropped by per-job invalidation."},
+		{"hemeserved_steer_ops_total", m.SteerOps.Load(), "counter", "Steering commands applied."},
+		{"hemeserved_data_requests_total", m.DataRequests.Load(), "counter", "Reduced-data queries served."},
+		{"hemeserved_http_requests_total", m.HTTPRequests.Load(), "counter", "HTTP requests served."},
+		{"hemeserved_snapshots_total", m.SnapshotsTotal.Load(), "counter", "Field snapshots published by solvers."},
+		{"hemeserved_render_queue_depth", m.RenderQueueDepth.Load(), "gauge", "Render tasks accepted but not yet finished."},
+		{"hemeserved_frame_latency_ns_sum", m.FrameLatencyNs.Load(), "counter", "Total pool render latency in nanoseconds (legacy mean accumulator)."},
+		{"hemeserved_frame_latency_ns_count", m.FrameLatencyCount.Load(), "counter", "Samples in hemeserved_frame_latency_ns_sum."},
+		{"hemeserved_stream_clients", m.StreamClients.Load(), "gauge", "Live SSE subscribers."},
+		{"hemeserved_frames_streamed_total", m.FramesStreamed.Load(), "counter", "Frame events pushed to SSE subscribers."},
+		{"hemeserved_checkpoints_written_total", m.CheckpointsWritten.Load(), "counter", "Solver checkpoints journaled to the data dir."},
+		{"hemeserved_checkpoint_bytes_total", m.CheckpointBytes.Load(), "counter", "Bytes of checkpoint data written."},
+		{"hemeserved_checkpoints_invalid_total", m.CheckpointsInvalid.Load(), "counter", "Checkpoints that failed verification at recovery."},
+		{"hemeserved_jobs_recovered_total", m.JobsRecovered.Load(), "counter", "Jobs reloaded from the store at boot."},
+		{"hemeserved_job_restarts_total", m.JobRestarts.Load(), "counter", "Interrupted jobs re-queued at recovery."},
+		{"hemeserved_store_errors_total", m.StoreErrors.Load(), "counter", "Failed store reads/writes."},
+		{"hemeserved_checkpoint_stall_ns_total", m.CheckpointStallNs.Load(), "counter", "Solver-loop time spent on checkpoint gathers, nanoseconds."},
+		{"hemeserved_checkpoints_coalesced_total", m.CheckpointsCoalesced.Load(), "counter", "Gathered checkpoint states overwritten before being written."},
+		{"hemeserved_snapshots_skipped_total", m.SnapshotsSkipped.Load(), "counter", "Snapshot cadence boundaries skipped for lack of interest."},
+	}
+}
+
+// histogramRow pairs a histogram's base name with its HELP text.
+type histogramRow struct {
+	base string
+	h    *obs.Histogram
+	help string
+}
+
+func (m *Metrics) histograms() []histogramRow {
+	return []histogramRow{
+		{"hemeserved_step_duration", &m.StepDuration, "Solver step duration (rank 0, sampled)."},
+		{"hemeserved_collective_wait", &m.CollectiveWait, "Per-step steering command broadcast wait (rank 0)."},
+		{"hemeserved_field_gather", &m.FieldGather, "Snapshot field gather duration (rank 0)."},
+		{"hemeserved_checkpoint_gather", &m.CheckpointGather, "In-loop checkpoint state gather duration (rank 0)."},
+		{"hemeserved_checkpoint_write", &m.CheckpointWrite, "Checkpoint encode+fsync duration on the writer goroutine."},
+		{"hemeserved_render_latency", &m.RenderLatency, "Render pool latency, task submit to PNG encoded."},
+	}
+}
+
+// WriteTo emits the legacy flat `name value` view: counters, histogram
+// percentile lines, per-route HTTP latency and runtime gauges.
 func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	var total int64
-	for _, c := range []struct {
-		name string
-		v    int64
-	}{
-		{"hemeserved_jobs_submitted_total", m.JobsSubmitted.Load()},
-		{"hemeserved_jobs_rejected_total", m.JobsRejected.Load()},
-		{"hemeserved_jobs_done_total", m.JobsDone.Load()},
-		{"hemeserved_jobs_failed_total", m.JobsFailed.Load()},
-		{"hemeserved_jobs_cancelled_total", m.JobsCancelled.Load()},
-		{"hemeserved_renders_total", m.RendersTotal.Load()},
-		{"hemeserved_frame_cache_hits_total", m.FrameCacheHits.Load()},
-		{"hemeserved_frame_cache_misses_total", m.FrameCacheMiss.Load()},
-		{"hemeserved_frame_cache_evictions_total", m.FrameCacheEvict.Load()},
-		{"hemeserved_frame_cache_invalidated_total", m.FrameCacheDrops.Load()},
-		{"hemeserved_steer_ops_total", m.SteerOps.Load()},
-		{"hemeserved_data_requests_total", m.DataRequests.Load()},
-		{"hemeserved_http_requests_total", m.HTTPRequests.Load()},
-		{"hemeserved_snapshots_total", m.SnapshotsTotal.Load()},
-		{"hemeserved_render_queue_depth", m.RenderQueueDepth.Load()},
-		{"hemeserved_frame_latency_ns_sum", m.FrameLatencyNs.Load()},
-		{"hemeserved_frame_latency_ns_count", m.FrameLatencyCount.Load()},
-		{"hemeserved_stream_clients", m.StreamClients.Load()},
-		{"hemeserved_frames_streamed_total", m.FramesStreamed.Load()},
-		{"hemeserved_checkpoints_written_total", m.CheckpointsWritten.Load()},
-		{"hemeserved_checkpoint_bytes_total", m.CheckpointBytes.Load()},
-		{"hemeserved_checkpoints_invalid_total", m.CheckpointsInvalid.Load()},
-		{"hemeserved_jobs_recovered_total", m.JobsRecovered.Load()},
-		{"hemeserved_job_restarts_total", m.JobRestarts.Load()},
-		{"hemeserved_store_errors_total", m.StoreErrors.Load()},
-		{"hemeserved_checkpoint_stall_ns_total", m.CheckpointStallNs.Load()},
-		{"hemeserved_checkpoints_coalesced_total", m.CheckpointsCoalesced.Load()},
-		{"hemeserved_snapshots_skipped_total", m.SnapshotsSkipped.Load()},
-	} {
+	for _, c := range m.rows() {
 		n, err := fmt.Fprintf(w, "%s %d\n", c.name, c.v)
 		total += int64(n)
 		if err != nil {
 			return total, err
 		}
 	}
-	return total, nil
+	cw := &countingWriter{w: w}
+	for _, hr := range m.histograms() {
+		obs.WriteHistogramFlat(cw, hr.base, hr.h)
+	}
+	m.HTTPLatency.WriteFlat(cw, "hemeserved_http_request_duration")
+	obs.WriteRuntimeMetrics(cw, true)
+	total += cw.n
+	return total, cw.err
+}
+
+// WritePrometheus emits the full Prometheus text exposition (0.0.4):
+// every flat counter/gauge with HELP/TYPE headers, the latency
+// histograms as _seconds bucket series, the per-route HTTP latency
+// family and the Go runtime gauges.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	for _, c := range m.rows() {
+		if c.typ == "gauge" {
+			obs.WriteGauge(w, c.name, c.help, c.v)
+		} else {
+			obs.WriteCounter(w, c.name, c.help, c.v)
+		}
+	}
+	for _, hr := range m.histograms() {
+		obs.WriteHistogram(w, hr.base, hr.help, hr.h)
+	}
+	obs.WriteHistogramSet(w, "hemeserved_http_request_duration", "HTTP request latency by route.", "route", &m.HTTPLatency)
+	obs.WriteRuntimeMetrics(w, false)
+}
+
+// countingWriter tracks bytes written and the first error, letting
+// WriteTo keep its io.WriterTo-shaped signature across helpers that
+// don't return counts.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
 }

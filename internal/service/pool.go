@@ -94,7 +94,9 @@ func (p *RenderPool) worker() {
 			r := p.render(t)
 			p.metrics.RenderQueueDepth.Add(-1)
 			if r.err == nil {
-				p.metrics.RecordFrameLatency(time.Since(t.enqueued).Nanoseconds())
+				ns := time.Since(t.enqueued).Nanoseconds()
+				p.metrics.RecordFrameLatency(ns)
+				p.metrics.RenderLatency.Observe(ns)
 			}
 			t.res <- r // buffered; never blocks the worker
 		}

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc64"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/lb"
+	"repro/internal/obs"
 )
 
 const (
@@ -69,6 +71,9 @@ type JobRecord struct {
 // different jobs never contend beyond a short mutex hold.
 type Store struct {
 	root string
+	// log receives write-failure warnings (callers also get the error;
+	// the log entry survives paths that swallow it). Never nil.
+	log *slog.Logger
 
 	mu     sync.Mutex
 	frozen bool
@@ -93,7 +98,16 @@ func Open(dir string) (*Store, error) {
 			os.Remove(path)
 		}
 	}
-	return &Store{root: dir, syncedDirs: make(map[string]bool)}, nil
+	return &Store{root: dir, log: obs.NopLogger(), syncedDirs: make(map[string]bool)}, nil
+}
+
+// SetLogger routes the store's warnings to log (nil restores the
+// discard default). Call before the store is shared across goroutines.
+func (s *Store) SetLogger(log *slog.Logger) {
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	s.log = log
 }
 
 // Root returns the data directory the store was opened on.
@@ -265,6 +279,14 @@ func (s *Store) getJSON(id, name string) ([]byte, error) {
 // power loss may keep the previous file — only acceptable when the
 // previous file is an equally valid answer (checkpoint replaces).
 func (s *Store) atomicWrite(id, name string, data []byte, syncEntries bool) error {
+	err := s.atomicWriteFile(id, name, data, syncEntries)
+	if err != nil {
+		s.log.Warn("store write failed", "job", id, "file", name, "err", err)
+	}
+	return err
+}
+
+func (s *Store) atomicWriteFile(id, name string, data []byte, syncEntries bool) error {
 	s.mu.Lock()
 	frozen := s.frozen
 	s.mu.Unlock()

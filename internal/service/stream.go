@@ -173,6 +173,7 @@ func (m *Manager) pumpView(j *Job, req insitu.Request, h *viewHub) {
 		}
 		png, fw, fh, err := m.frameFromSnapshot(j, snap, req)
 		if err != nil {
+			j.log.Warn("stream render failed; ending streams for view", "step", snap.Step, "err", err)
 			m.killHub(h)
 			return
 		}
