@@ -28,6 +28,7 @@ var compareSpecs = []compareSpec{
 	{"multires", []string{"label"}, "bytes"},
 	{"stream", []string{"subscribers"}, "steps_per_sec"},
 	{"jobs", []string{"persist", "jobs"}, "jobs_per_sec"},
+	{"threads", []string{"threads"}, "steps_per_sec"},
 }
 
 // compareReports prints per-benchmark deltas between two -json result

@@ -89,6 +89,15 @@ type jsonJobs struct {
 	Checkpoints int64   `json:"checkpoints_written"`
 }
 
+type jsonThreads struct {
+	Threads     int     `json:"threads"`
+	Sites       int     `json:"sites"`
+	Steps       int     `json:"steps"`
+	WallNs      int64   `json:"wall_ns"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	Speedup     float64 `json:"speedup"`
+}
+
 type jsonStream struct {
 	Subscribers    int     `json:"subscribers"`
 	StepsPerSec    float64 `json:"steps_per_sec"`
@@ -126,6 +135,8 @@ func main() {
 	stream := flag.Bool("stream", true, "also run the service frame-streaming sweep")
 	jobs := flag.Bool("jobs", true, "also run the service jobs-throughput sweep (with/without persistence)")
 	jobsBatches := flag.String("jobs-batches", "", "comma-separated batch sizes for the jobs sweep (empty = 4,16,64; small values make a CI-sized smoke run)")
+	threadsFlag := flag.String("threads", "", "comma-separated solver worker counts for the intra-rank tiling sweep (empty = skip; e.g. 1,2,4)")
+	threadSteps := flag.Int("thread-steps", 100, "solver steps per tiling-sweep point")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file (\"-\" = stdout)")
 	compare := flag.Bool("compare", false, "compare two -json result files: scalebench -compare old.json new.json")
 	flag.Parse()
@@ -270,6 +281,31 @@ func main() {
 				r.RendersUsed, r.MeanFrameLatency.Nanoseconds()})
 		}
 		report["stream"] = sj
+	}
+
+	if *threadsFlag != "" {
+		var tcounts []int
+		for _, s := range strings.Split(*threadsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 {
+				fmt.Fprintln(os.Stderr, "scalebench: bad thread count:", s)
+				os.Exit(2)
+			}
+			tcounts = append(tcounts, v)
+		}
+		fmt.Println()
+		fmt.Println("== intra-rank tiling: collide+stream worker sweep ==")
+		trows, err := experiments.ThreadsSweep(tcounts, *threadSteps, *scale)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatThreads(trows))
+		tj := make([]jsonThreads, 0, len(trows))
+		for _, r := range trows {
+			tj = append(tj, jsonThreads{r.Threads, r.Sites, r.Steps,
+				r.Wall.Nanoseconds(), r.StepsPerSec, r.Speedup})
+		}
+		report["threads"] = tj
 	}
 
 	if *jobs {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/field"
@@ -25,6 +26,11 @@ type Snapshot struct {
 	// site id (WSS is zero away from walls), so wall-mode renders work
 	// on the offload path too.
 	Field *field.Field
+	// Diverged reports that the gathered fields contain a non-finite
+	// value — the simulation has blown up. Detection rides the gather
+	// (an O(N) scan on an already-O(N) infrequent path) so a diverged
+	// job is flagged loudly instead of rendering NaN-grey frames.
+	Diverged bool
 }
 
 // Octree builds the §V multi-resolution tree over the snapshot's
@@ -95,9 +101,22 @@ func (s *Simulation) publishSnapshot(c *par.Comm, d *lb.Dist) {
 		s.Cfg.Phases.ObservePhase(obs.PhaseGather, d.StepCount(), time.Since(t0).Nanoseconds())
 	}
 	s.Cfg.OnSnapshot(&Snapshot{
-		Step:  d.StepCount(),
-		Field: &field.Field{Dom: s.Dom, Rho: rho, Ux: ux, Uy: uy, Uz: uz, WSS: wss},
+		Step:     d.StepCount(),
+		Field:    &field.Field{Dom: s.Dom, Rho: rho, Ux: ux, Uy: uy, Uz: uz, WSS: wss},
+		Diverged: anyNonFinite(rho) || anyNonFinite(ux) || anyNonFinite(uy) || anyNonFinite(uz),
 	})
+}
+
+// anyNonFinite reports whether xs contains a NaN or Inf. Written
+// against v != v (NaN) and the float64 overflow bound rather than
+// math.IsNaN per element to keep the scan branch-cheap.
+func anyNonFinite(xs []float64) bool {
+	for _, v := range xs {
+		if v != v || v > math.MaxFloat64 || v < -math.MaxFloat64 {
+			return true
+		}
+	}
+	return false
 }
 
 // checkpointDurable gathers the solver state (collective — every rank

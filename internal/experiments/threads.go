@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/geometry"
+	"repro/internal/lattice"
+	"repro/internal/lb"
+	"repro/internal/par"
+	"repro/internal/partition"
+)
+
+// ThreadsRow is one point of the intra-rank tiling sweep: the same
+// single-rank problem stepped with a different collide+stream worker
+// count. Because tiled stepping is bit-identical to serial, the sweep
+// measures pure scheduling throughput — speedup on a multi-core box,
+// flat on one core (goroutine workers timeshare it; the run meta's
+// num_cpu records which case a report captured).
+type ThreadsRow struct {
+	Threads     int
+	Sites       int
+	Steps       int
+	Wall        time.Duration
+	StepsPerSec float64
+	// Speedup is relative to the sweep's first row (threads=1 when the
+	// caller sweeps from 1).
+	Speedup float64
+}
+
+// ThreadsSweep steps a pipe domain for the given worker counts on one
+// rank and reports wall-clock throughput per count. The domain is
+// rebuilt per point so every run starts from the same equilibrium
+// state; a short warm-up advance is excluded from the timing.
+func ThreadsSweep(counts []int, steps int, scale float64) ([]ThreadsRow, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4}
+	}
+	if steps <= 0 {
+		steps = 100
+	}
+	if scale <= 0 {
+		scale = 1.2
+	}
+	dom, err := geometry.Voxelise(geometry.Pipe(24*scale, 4*scale), 0.5, lattice.D3Q19())
+	if err != nil {
+		return nil, err
+	}
+	var rows []ThreadsRow
+	for _, t := range counts {
+		if t < 1 {
+			return nil, fmt.Errorf("experiments: thread count must be >= 1, got %d", t)
+		}
+		var wall time.Duration
+		rt := par.NewRuntime(1)
+		rt.Run(func(c *par.Comm) {
+			d, err := lb.NewDist(c, dom, onePartition(dom), lb.Params{Tau: 0.9, Threads: t})
+			if err != nil {
+				panic(err)
+			}
+			defer d.Close()
+			d.Advance(5) // warm up: pools spawned, buffers touched
+			t0 := time.Now()
+			d.Advance(steps)
+			wall = time.Since(t0)
+		})
+		row := ThreadsRow{Threads: t, Sites: dom.NumSites(), Steps: steps, Wall: wall}
+		if s := wall.Seconds(); s > 0 {
+			row.StepsPerSec = float64(steps) / s
+		}
+		if len(rows) == 0 {
+			row.Speedup = 1
+		} else if base := rows[0].Wall; wall > 0 {
+			row.Speedup = float64(base) / float64(wall)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// onePartition assigns every site to rank 0 — the trivial single-rank
+// decomposition the tiling sweep runs under.
+func onePartition(dom *geometry.Domain) *partition.Partition {
+	return &partition.Partition{K: 1, Parts: make([]int32, dom.NumSites())}
+}
+
+// FormatThreads renders the sweep as an aligned text table.
+func FormatThreads(rows []ThreadsRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %9s %7s %12s %12s %8s\n",
+		"threads", "sites", "steps", "wall", "steps/s", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %9d %7d %12s %12.1f %7.2fx\n",
+			r.Threads, r.Sites, r.Steps, r.Wall.Round(time.Microsecond), r.StepsPerSec, r.Speedup)
+	}
+	return b.String()
+}

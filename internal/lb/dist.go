@@ -41,7 +41,14 @@ type Dist struct {
 	ioletRho []float64
 	pulses   []*Pulse
 
-	post, feqBuf []float64
+	// scratch holds one private (post, feqBuf) pair per worker — the
+	// shared pair was the data race that forbade tiling the kernel.
+	scratch []kernelScratch
+	// threads is the normalised worker count (>= 1); pool tiles the
+	// collide+stream pass over persistent workers when threads > 1
+	// (nil = serial). Close parks it.
+	threads int
+	pool    *tilePool
 	// rhoIoBuf holds the per-step effective iolet densities; packBuf is
 	// the reusable payload for state gathers (snapshots, checkpoints).
 	// Both exist so steady-state stepping allocates nothing.
@@ -84,8 +91,8 @@ func NewDist(comm *par.Comm, dom *geometry.Domain, part *partition.Partition, p 
 		local:    make([]int32, dom.NumSites()),
 		ioletRho: make([]float64, len(dom.Iolets)),
 		pulses:   make([]*Pulse, len(dom.Iolets)),
-		post:     make([]float64, m.Q),
-		feqBuf:   make([]float64, m.Q),
+		scratch:  newScratch(p.workers(), m.Q),
+		threads:  p.workers(),
 		rhoIoBuf: make([]float64, len(dom.Iolets)),
 	}
 	for k, io := range dom.Iolets {
@@ -104,6 +111,9 @@ func NewDist(comm *par.Comm, dom *geometry.Domain, part *partition.Partition, p 
 	d.f = make([]float64, n*m.Q)
 	d.fNew = make([]float64, n*m.Q)
 	d.stream = make([]int32, n*m.Q)
+	if d.threads > 1 {
+		d.pool = newTilePool(d.threads, n, d.stepTile)
+	}
 
 	// Build stream table and the cross-rank send plan. Slots are
 	// ordered by destination rank, then (global source site, dir) —
@@ -275,53 +285,20 @@ func (d *Dist) SetPulse(k int, p *Pulse) error {
 
 // Step advances one time step: fused collide+stream on owned sites
 // (cross-rank populations packed into sendBuf), halo exchange, scatter,
-// swap.
+// swap. With Params.Threads > 1 the collide+stream pass is tiled over
+// the worker pool — results stay bit-identical to serial for any worker
+// count (disjoint writes, per-site arithmetic unchanged); the halo
+// exchange stays on the calling goroutine so the par runtime sees the
+// usual one-goroutine-per-rank SPMD structure.
 func (d *Dist) Step() {
-	m := d.Dom.Model
-	Q := m.Q
-	mv := modelView{Q: m.Q, C: m.C, W: m.W, Opp: m.Opp}
-	invTauPlus := 1.0 / d.Tau
-	invTauMinus := 1.0 / tauMinus(d.Tau)
 	rhoIo := d.rhoIoBuf
 	for k := range rhoIo {
 		rhoIo[k] = effectiveIoletRho(d.ioletRho[k], d.pulses[k], d.step)
 	}
-	for li := range d.Owned {
-		base := li * Q
-		var rho, ux, uy, uz float64
-		for q := 0; q < Q; q++ {
-			v := d.f[base+q]
-			rho += v
-			c := &m.C[q]
-			ux += v * float64(c[0])
-			uy += v * float64(c[1])
-			uz += v * float64(c[2])
-		}
-		if rho > 0 {
-			ux /= rho
-			uy /= rho
-			uz /= rho
-		}
-		u2 := ux*ux + uy*uy + uz*uz
-		copy(d.post, d.f[base:base+Q])
-		collideSite(d.Kind, mv, d.post, 0, rho, ux, uy, uz, invTauPlus, invTauMinus, d.feqBuf)
-		for q := 0; q < Q; q++ {
-			post := d.post[q]
-			dst := d.stream[base+q]
-			switch {
-			case dst >= 0:
-				d.fNew[dst] = post
-			case dst <= streamCrossBase:
-				d.sendBuf[streamCrossBase-dst] = post
-			case dst == streamWall:
-				d.fNew[base+m.Opp[q]] = post
-			default:
-				k := int(encodeIolet - dst)
-				c := &m.C[q]
-				cu := ux*float64(c[0]) + uy*float64(c[1]) + uz*float64(c[2])
-				d.fNew[base+m.Opp[q]] = -post + 2*feqSym(m.W[q], rhoIo[k], cu, u2)
-			}
-		}
+	if d.pool != nil {
+		d.pool.step()
+	} else {
+		d.stepTile(0, 0, len(d.Owned))
 	}
 	// Halo exchange: send packed slices, receive and scatter. The
 	// transport copies cycle through the runtime's buffer pool, so the
@@ -348,6 +325,89 @@ func (d *Dist) Step() {
 	}
 	d.f, d.fNew = d.fNew, d.f
 	d.step++
+}
+
+// stepTile runs the fused collide+stream pass over owned sites
+// [lo, hi) using worker w's private scratch. Every write — fNew fluid
+// destinations, wall/iolet bounces into the source site's own opposite
+// slot, pre-assigned sendBuf slots for cross-rank links — is disjoint
+// per (source site, direction), so tiles need no locks.
+func (d *Dist) stepTile(w, lo, hi int) {
+	m := d.Dom.Model
+	Q := m.Q
+	mv := modelView{Q: m.Q, C: m.C, W: m.W, Opp: m.Opp}
+	invTauPlus := 1.0 / d.Tau
+	invTauMinus := 1.0 / tauMinus(d.Tau)
+	rhoIo := d.rhoIoBuf
+	sc := &d.scratch[w]
+	for li := lo; li < hi; li++ {
+		base := li * Q
+		var rho, ux, uy, uz float64
+		for q := 0; q < Q; q++ {
+			v := d.f[base+q]
+			rho += v
+			c := &m.C[q]
+			ux += v * float64(c[0])
+			uy += v * float64(c[1])
+			uz += v * float64(c[2])
+		}
+		if rho > 0 {
+			ux /= rho
+			uy /= rho
+			uz /= rho
+		}
+		u2 := ux*ux + uy*uy + uz*uz
+		copy(sc.post, d.f[base:base+Q])
+		collideSite(d.Kind, mv, sc.post, 0, rho, ux, uy, uz, invTauPlus, invTauMinus, sc.feqBuf)
+		for q := 0; q < Q; q++ {
+			post := sc.post[q]
+			dst := d.stream[base+q]
+			switch {
+			case dst >= 0:
+				d.fNew[dst] = post
+			case dst <= streamCrossBase:
+				d.sendBuf[streamCrossBase-dst] = post
+			case dst == streamWall:
+				d.fNew[base+m.Opp[q]] = post
+			default:
+				k := int(encodeIolet - dst)
+				c := &m.C[q]
+				cu := ux*float64(c[0]) + uy*float64(c[1]) + uz*float64(c[2])
+				d.fNew[base+m.Opp[q]] = -post + 2*feqSym(m.W[q], rhoIo[k], cu, u2)
+			}
+		}
+	}
+}
+
+// Threads returns the worker count stepping this rank (1 = serial).
+func (d *Dist) Threads() int { return d.threads }
+
+// SampleTiles arms per-worker tile timing for the next Step only; read
+// the result with TileNanos afterwards. Serial solvers ignore it — the
+// run loop times serial steps with the ordinary step phase already.
+func (d *Dist) SampleTiles() {
+	if d.pool != nil {
+		d.pool.timing = true
+	}
+}
+
+// TileNanos returns the per-worker tile durations of the most recent
+// armed Step (nil when serial). The slice is reused across samples;
+// callers must consume it before the next armed Step.
+func (d *Dist) TileNanos() []int64 {
+	if d.pool == nil {
+		return nil
+	}
+	return d.pool.tileNs
+}
+
+// Close parks the worker pool (no-op for serial ranks). The Dist keeps
+// working after Close — stepping just falls back to serial.
+func (d *Dist) Close() {
+	if d.pool != nil {
+		d.pool.close()
+		d.pool = nil
+	}
 }
 
 // Advance runs n steps.
@@ -393,7 +453,13 @@ func (d *Dist) Velocity(li int) (ux, uy, uz float64) {
 // Solver.WallShearStress, sharing its kernel.
 func (d *Dist) WallShearStress(li int) float64 {
 	g := d.Owned[li]
-	return wallShearStressAt(d.Dom.Model, &d.Dom.Sites[g], d.f, li*d.M, d.Tau)
+	site := &d.Dom.Sites[g]
+	if site.Flags&geometry.FlagWall == 0 {
+		return 0
+	}
+	base := li * d.M
+	rho, ux, uy, uz := momentsAt(d.Dom.Model, d.f, base)
+	return wallShearStressAt(d.Dom.Model, site, d.f, base, d.Tau, rho, ux, uy, uz)
 }
 
 // TotalMass returns the global mass (allreduce over ranks).
@@ -445,15 +511,23 @@ func (d *Dist) gatherFields(root int, withWSS bool) (rho, ux, uy, uz, wss []floa
 	m := d.Dom.Model
 	buf := d.pack(stride * n)
 	for li, g := range d.Owned {
-		vx, vy, vz := d.Velocity(li)
+		// One moment pass per site: density and velocity come from the
+		// same momentsAt call, and the WSS kernel takes the precomputed
+		// moments instead of recomputing them.
+		rho0, vx, vy, vz := momentsAt(m, d.f, li*m.Q)
 		at := stride * li
 		buf[at] = float64(g)
-		buf[at+1] = d.Density(li)
+		buf[at+1] = rho0
 		buf[at+2] = vx
 		buf[at+3] = vy
 		buf[at+4] = vz
 		if withWSS {
-			buf[at+5] = wallShearStressAt(m, &d.Dom.Sites[g], d.f, li*m.Q, d.Tau)
+			site := &d.Dom.Sites[g]
+			if site.Flags&geometry.FlagWall != 0 {
+				buf[at+5] = wallShearStressAt(m, site, d.f, li*m.Q, d.Tau, rho0, vx, vy, vz)
+			} else {
+				buf[at+5] = 0
+			}
 		}
 	}
 	if d.Comm.Rank() != root {

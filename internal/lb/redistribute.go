@@ -17,7 +17,9 @@ const tagRedist = par.TagUser + 102
 // same time step. All ranks must call it collectively with the same
 // newPart.
 func (d *Dist) Redistribute(newPart *partition.Partition) (*Dist, error) {
-	nd, err := NewDist(d.Comm, d.Dom, newPart, Params{Tau: d.Tau, Kind: d.Kind})
+	// Threads carries over: the new solver tiles with the same worker
+	// count the old one used.
+	nd, err := NewDist(d.Comm, d.Dom, newPart, Params{Tau: d.Tau, Kind: d.Kind, Threads: d.threads})
 	if err != nil {
 		return nil, err
 	}

@@ -29,13 +29,47 @@ type Params struct {
 	// Kind selects the collision operator (default BGK; TRT fixes the
 	// bounce-back wall location independently of viscosity).
 	Kind Collision
+	// Threads is the number of worker goroutines tiling the fused
+	// collide+stream pass (0 or 1 = serial). Results are bit-identical
+	// to the serial kernel for any value: sites are updated
+	// independently from their own populations and written to disjoint
+	// slots, so tiling changes scheduling, never arithmetic.
+	Threads int
 }
 
 func (p Params) validate() error {
 	if p.Tau <= 0.5 {
 		return fmt.Errorf("lb: tau must exceed 0.5, got %g", p.Tau)
 	}
+	if p.Threads < 0 {
+		return fmt.Errorf("lb: threads must be non-negative, got %d", p.Threads)
+	}
 	return nil
+}
+
+// workers normalises the thread knob: 0 and 1 both mean serial.
+func (p Params) workers() int {
+	if p.Threads < 1 {
+		return 1
+	}
+	return p.Threads
+}
+
+// kernelScratch is one worker's private collision scratch (the
+// post-collision copy and the equilibrium buffer). Sharing these
+// across workers was the data race that forbade tiling; every worker
+// owns its own pair.
+type kernelScratch struct {
+	post, feqBuf []float64
+}
+
+func newScratch(workers, q int) []kernelScratch {
+	sc := make([]kernelScratch, workers)
+	for w := range sc {
+		sc[w].post = make([]float64, q)
+		sc[w].feqBuf = make([]float64, q)
+	}
+	return sc
 }
 
 func (p Params) initialRho() float64 {
@@ -64,8 +98,19 @@ type Solver struct {
 	ioletRho []float64
 	pulses   []*Pulse
 
-	// scratch buffers for the collision kernel.
-	post, feqBuf []float64
+	// scratch holds one private (post, feqBuf) pair per worker; rhoIo
+	// is the reusable per-step effective iolet density buffer — both
+	// exist so steady-state stepping allocates nothing.
+	scratch []kernelScratch
+	rhoIo   []float64
+	// pool tiles the collide+stream pass over persistent workers when
+	// Params.Threads > 1 (nil = serial); Close parks it.
+	pool *tilePool
+
+	// diverged latches that a diagnostic observed a non-finite
+	// velocity — a blown-up simulation must report loudly, not mask
+	// NaN behind a reassuring low max speed.
+	diverged bool
 
 	step int
 }
@@ -106,8 +151,11 @@ func New(dom *geometry.Domain, p Params) (*Solver, error) {
 		stream:   make([]int32, n*m.Q),
 		ioletRho: make([]float64, len(dom.Iolets)),
 		pulses:   make([]*Pulse, len(dom.Iolets)),
-		post:     make([]float64, m.Q),
-		feqBuf:   make([]float64, m.Q),
+		scratch:  newScratch(p.workers(), m.Q),
+		rhoIo:    make([]float64, len(dom.Iolets)),
+	}
+	if w := p.workers(); w > 1 {
+		s.pool = newTilePool(w, n, s.collideStreamTile)
 	}
 	for k, io := range dom.Iolets {
 		s.ioletRho[k] = 1 + io.Pressure
@@ -141,6 +189,7 @@ func (s *Solver) InitEquilibrium(rho float64) {
 		}
 	}
 	s.step = 0
+	s.diverged = false
 }
 
 // NumSites returns the number of fluid sites.
@@ -228,25 +277,42 @@ func (s *Solver) Advance(nSteps int) {
 // f'(opp) = -f*(q) + 2 w_q rho_io (1 + 4.5 (c·u)² - 1.5 u²), which
 // imposes the iolet density while letting momentum leave the domain.
 // Distributed callers follow up with halo exchange before Swap.
+// With Params.Threads > 1 the pass is tiled over the worker pool;
+// results are bit-identical to the serial pass for any thread count.
 func (s *Solver) CollideStreamLocal() {
+	// Iolet densities for this step, including pulses — computed once
+	// into the reusable buffer before the tiles run, so every worker
+	// reads the same immutable values.
+	for k := range s.rhoIo {
+		s.rhoIo[k] = effectiveIoletRho(s.ioletRho[k], s.pulses[k], s.step)
+	}
+	if s.pool != nil {
+		s.pool.step()
+	} else {
+		s.collideStreamTile(0, 0, s.n)
+	}
+	s.step++
+}
+
+// collideStreamTile steps sites [lo, hi) using worker w's private
+// scratch. All writes — fNew fluid destinations, wall/iolet bounces —
+// are disjoint per (source site, direction), so tiles need no locks.
+func (s *Solver) collideStreamTile(w, lo, hi int) {
 	m := s.M
 	q := m.Q
 	mv := modelView{Q: m.Q, C: m.C, W: m.W, Opp: m.Opp}
 	invTauPlus := 1.0 / s.Tau
 	invTauMinus := 1.0 / tauMinus(s.Tau)
-	// Iolet densities for this step, including pulses.
-	rhoIo := make([]float64, len(s.ioletRho))
-	for k := range rhoIo {
-		rhoIo[k] = effectiveIoletRho(s.ioletRho[k], s.pulses[k], s.step)
-	}
-	for i := 0; i < s.n; i++ {
+	sc := &s.scratch[w]
+	rhoIo := s.rhoIo
+	for i := lo; i < hi; i++ {
 		base := i * q
 		rho, ux, uy, uz := s.moments(s.f, i)
 		u2 := ux*ux + uy*uy + uz*uz
-		copy(s.post, s.f[base:base+q])
-		collideSite(s.Kind, mv, s.post, 0, rho, ux, uy, uz, invTauPlus, invTauMinus, s.feqBuf)
+		copy(sc.post, s.f[base:base+q])
+		collideSite(s.Kind, mv, sc.post, 0, rho, ux, uy, uz, invTauPlus, invTauMinus, sc.feqBuf)
 		for d := 0; d < q; d++ {
-			post := s.post[d]
+			post := sc.post[d]
 			dst := s.stream[base+d]
 			switch {
 			case dst >= 0:
@@ -261,7 +327,23 @@ func (s *Solver) CollideStreamLocal() {
 			}
 		}
 	}
-	s.step++
+}
+
+// Threads returns the worker count stepping this solver (1 = serial).
+func (s *Solver) Threads() int {
+	if s.pool == nil {
+		return 1
+	}
+	return s.pool.threads
+}
+
+// Close parks the worker pool (no-op for serial solvers). The solver
+// keeps working after Close — stepping just falls back to serial.
+func (s *Solver) Close() {
+	if s.pool != nil {
+		s.pool.close()
+		s.pool = nil
+	}
 }
 
 // feqSym is the symmetric (even-in-c) part of the equilibrium, used by
@@ -310,18 +392,30 @@ func (s *Solver) TotalMass() float64 {
 func (s *Solver) Viscosity() float64 { return s.M.Cs2 * (s.Tau - 0.5) }
 
 // MaxSpeed returns the maximum velocity magnitude over all sites, a
-// stability diagnostic (should stay well below cs ≈ 0.577).
+// stability diagnostic (should stay well below cs ≈ 0.577). A blown-up
+// simulation produces NaN velocities, and `v > maxV` is false for NaN —
+// the old code silently masked divergence behind a reassuring low max
+// speed. Any non-finite site speed now makes MaxSpeed return NaN and
+// latches the Diverged flag.
 func (s *Solver) MaxSpeed() float64 {
 	maxV := 0.0
 	for i := 0; i < s.n; i++ {
 		_, ux, uy, uz := s.moments(s.f, i)
-		v := math.Sqrt(ux*ux + uy*uy + uz*uz)
-		if v > maxV {
-			maxV = v
+		v2 := ux*ux + uy*uy + uz*uz
+		if math.IsNaN(v2) || math.IsInf(v2, 0) {
+			s.diverged = true
+			return math.NaN()
+		}
+		if v2 > maxV {
+			maxV = v2
 		}
 	}
-	return maxV
+	return math.Sqrt(maxV)
 }
+
+// Diverged reports whether a diagnostic has observed a non-finite
+// velocity since the last InitEquilibrium.
+func (s *Solver) Diverged() bool { return s.diverged }
 
 // WallShearStress estimates the wall shear stress magnitude at site i
 // from the non-equilibrium momentum flux tensor:
@@ -331,17 +425,22 @@ func (s *Solver) MaxSpeed() float64 {
 // 0. This is the physiological observable ("wall stress distributions")
 // the paper lists as a primary post-processing target.
 func (s *Solver) WallShearStress(i int) float64 {
-	return wallShearStressAt(s.M, &s.Dom.Sites[i], s.f, i*s.M.Q, s.Tau)
+	site := &s.Dom.Sites[i]
+	if site.Flags&geometry.FlagWall == 0 {
+		return 0
+	}
+	base := i * s.M.Q
+	rho, ux, uy, uz := momentsAt(s.M, s.f, base)
+	return wallShearStressAt(s.M, site, s.f, base, s.Tau, rho, ux, uy, uz)
 }
 
 // wallShearStressAt is the shared kernel behind Solver.WallShearStress
 // and the distributed gather path: populations for one site start at
-// flat index base in f. Non-wall sites return 0.
-func wallShearStressAt(m *lattice.Model, site *geometry.Site, f []float64, base int, tau float64) float64 {
-	if site.Flags&geometry.FlagWall == 0 {
-		return 0
-	}
-	rho, ux, uy, uz := momentsAt(m, f, base)
+// flat index base in f. It takes the site's already-computed moments so
+// field extraction does one moment pass, not two — callers must check
+// the wall flag first (the non-equilibrium tensor is meaningless, and
+// wasted work, off walls).
+func wallShearStressAt(m *lattice.Model, site *geometry.Site, f []float64, base int, tau, rho, ux, uy, uz float64) float64 {
 	u2 := ux*ux + uy*uy + uz*uz
 	var sigma [3][3]float64
 	for q := 0; q < m.Q; q++ {
@@ -394,7 +493,12 @@ func (s *Solver) Fields(rho, ux, uy, uz, wss []float64) (r, x, y, z, w []float64
 	for i := 0; i < s.n; i++ {
 		r0, x0, y0, z0 := s.moments(s.f, i)
 		rho[i], ux[i], uy[i], uz[i] = r0, x0, y0, z0
-		wss[i] = s.WallShearStress(i)
+		site := &s.Dom.Sites[i]
+		if site.Flags&geometry.FlagWall != 0 {
+			wss[i] = wallShearStressAt(s.M, site, s.f, i*s.M.Q, s.Tau, r0, x0, y0, z0)
+		} else {
+			wss[i] = 0
+		}
 	}
 	return rho, ux, uy, uz, wss
 }

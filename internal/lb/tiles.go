@@ -1,0 +1,102 @@
+package lb
+
+import (
+	"sync"
+	"time"
+)
+
+// tilePool fans the fused collide+stream pass out over a fixed set of
+// persistent worker goroutines. Owned sites are partitioned into
+// contiguous tiles — worker w steps sites [w*n/T, (w+1)*n/T) — and the
+// pass stays bit-identical to the serial kernel for any worker count:
+// each site's update reads only that site's own populations and writes
+// to slots no other (site, direction) pair targets (push streaming:
+// fluid links land at distinct fNew destinations per direction, wall
+// and iolet links bounce into the source site's own opposite slot, and
+// cross-rank links occupy pre-assigned sendBuf slots), so tiling
+// changes neither the order of floating-point operations within a site
+// nor which memory any site writes.
+//
+// The workers are created once per solver and parked on per-worker
+// wake channels between passes; a pass is one Add/send/kernel/Wait
+// cycle with no allocation, so tiled stepping stays as allocation-flat
+// as the serial path (guarded by the alloc tests).
+type tilePool struct {
+	threads int
+	n       int // sites to partition
+	// kernel is the per-tile step, fixed at construction so dispatch
+	// never allocates a closure: kernel(w, lo, hi) must use only
+	// worker-private scratch (scratch[w]) besides the disjoint writes
+	// described above.
+	kernel func(w, lo, hi int)
+	wake   []chan struct{}
+	wg     sync.WaitGroup
+	// timing arms per-tile duration capture for the next pass only
+	// (set by the stepping goroutine, read by workers after the wake
+	// send establishes the happens-before edge); tileNs[w] is valid
+	// after an armed pass until the next one.
+	timing bool
+	tileNs []int64
+}
+
+// newTilePool starts threads-1 worker goroutines (worker 0 is the
+// caller's own goroutine, so T threads use T cores, not T+1).
+func newTilePool(threads, n int, kernel func(w, lo, hi int)) *tilePool {
+	p := &tilePool{
+		threads: threads,
+		n:       n,
+		kernel:  kernel,
+		wake:    make([]chan struct{}, threads),
+		tileNs:  make([]int64, threads),
+	}
+	for w := 1; w < threads; w++ {
+		p.wake[w] = make(chan struct{}, 1)
+		go p.worker(w)
+	}
+	return p
+}
+
+// bounds returns worker w's contiguous tile [lo, hi).
+func (p *tilePool) bounds(w int) (lo, hi int) {
+	return w * p.n / p.threads, (w + 1) * p.n / p.threads
+}
+
+func (p *tilePool) runTile(w int) {
+	lo, hi := p.bounds(w)
+	if p.timing {
+		t0 := time.Now()
+		p.kernel(w, lo, hi)
+		p.tileNs[w] = time.Since(t0).Nanoseconds()
+		return
+	}
+	p.kernel(w, lo, hi)
+}
+
+func (p *tilePool) worker(w int) {
+	for range p.wake[w] {
+		p.runTile(w)
+		p.wg.Done()
+	}
+}
+
+// step runs one full pass: workers 1..T-1 are woken, worker 0's tile
+// runs on the calling goroutine, and the call returns only when every
+// tile finished — the barrier the halo exchange and buffer swap rely
+// on.
+func (p *tilePool) step() {
+	p.wg.Add(p.threads - 1)
+	for w := 1; w < p.threads; w++ {
+		p.wake[w] <- struct{}{}
+	}
+	p.runTile(0)
+	p.wg.Wait()
+	p.timing = false
+}
+
+// close parks the pool permanently: workers drain their wake channels
+// and exit. Safe to call once; the owner guards against double close.
+func (p *tilePool) close() {
+	for w := 1; w < p.threads; w++ {
+		close(p.wake[w])
+	}
+}

@@ -41,6 +41,7 @@ const (
 	EvCheckpointCoalesced = "checkpoint-coalesced"
 	EvPause               = "pause"
 	EvResume              = "resume"
+	EvDiverged            = "diverged"
 	EvTerminal            = "terminal"
 )
 

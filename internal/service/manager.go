@@ -131,6 +131,10 @@ type Job struct {
 	// SnapshotInterest hook consumes it at cadence boundaries. Unwatched
 	// jobs therefore publish nothing and gather nothing in-loop.
 	snapWant atomic.Bool
+	// diverged latches that a published snapshot carried non-finite
+	// fields — the simulation blew up. Surfaced in JobInfo, the metric
+	// and the flight recorder exactly once.
+	diverged atomic.Bool
 
 	// Octree memo: the §V tree built over a snapshot, cached per
 	// snapshot so N data-plane queries of one step cost one build —
@@ -226,6 +230,9 @@ type JobInfo struct {
 	// type.
 	Events    uint64 `json:"events,omitempty"`
 	LastEvent string `json:"last_event,omitempty"`
+	// Diverged marks a job whose published fields went non-finite: the
+	// simulation blew up, whatever the lifecycle state says.
+	Diverged bool `json:"diverged,omitempty"`
 }
 
 // Info snapshots the job for serialisation.
@@ -247,6 +254,7 @@ func (j *Job) Info() JobInfo {
 		Recovered:       j.recovered,
 		Restarts:        j.restarts,
 		ResumedFromStep: j.resumeStep,
+		Diverged:        j.diverged.Load(),
 	}
 	if !j.started.IsZero() {
 		info.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
@@ -323,7 +331,12 @@ type Options struct {
 	RenderQueue   int
 	// CacheEntries caps the LRU frame cache (default 512).
 	CacheEntries int
-	Metrics      *Metrics
+	// SolverThreads is the default per-rank collide+stream worker count
+	// for specs that leave threads at 0 (clamped to [1, 16]; default 1 =
+	// serial). Results are bit-identical either way, so this is purely a
+	// throughput knob for multi-core daemons.
+	SolverThreads int
+	Metrics       *Metrics
 	// Store, when set, makes jobs durable: specs and lifecycle states
 	// are journaled on every change, running jobs checkpoint their
 	// solver state at a cadence, and NewManagerOpts re-queues whatever
@@ -353,7 +366,9 @@ type Manager struct {
 	// is the default checkpoint cadence for specs that don't set one.
 	store     *store.Store
 	ckptEvery int
-	queue     chan *Job
+	// solverThreads is the daemon default for specs with threads: 0.
+	solverThreads int
+	queue         chan *Job
 	// queueCap is the configured admission limit. Recovery may size
 	// the queue channel above it to hold a large re-queued backlog,
 	// but new submissions are judged against this, so a restart never
@@ -418,17 +433,24 @@ func NewManagerOpts(o Options) *Manager {
 	case o.CheckpointEvery < 0:
 		o.CheckpointEvery = 0 // no daemon default; specs may still opt in
 	}
+	if o.SolverThreads < 1 {
+		o.SolverThreads = 1
+	}
+	if o.SolverThreads > maxSpecThreads {
+		o.SolverThreads = maxSpecThreads
+	}
 	m := &Manager{
-		metrics:   o.Metrics,
-		log:       o.Logger,
-		ringSz:    o.EventRing,
-		store:     o.Store,
-		ckptEvery: o.CheckpointEvery,
-		slots:     make(chan struct{}, o.Workers),
-		cache:     NewFrameCache(o.Metrics, o.CacheEntries),
-		pool:      NewRenderPool(o.RenderWorkers, o.RenderQueue, o.Metrics),
-		jobs:      make(map[string]*Job),
-		hubs:      make(map[string]*viewHub),
+		metrics:       o.Metrics,
+		log:           o.Logger,
+		ringSz:        o.EventRing,
+		store:         o.Store,
+		ckptEvery:     o.CheckpointEvery,
+		solverThreads: o.SolverThreads,
+		slots:         make(chan struct{}, o.Workers),
+		cache:         NewFrameCache(o.Metrics, o.CacheEntries),
+		pool:          NewRenderPool(o.RenderWorkers, o.RenderQueue, o.Metrics),
+		jobs:          make(map[string]*Job),
+		hubs:          make(map[string]*viewHub),
 	}
 	// Recovery runs before the dispatcher exists, so the re-queued
 	// backlog can size the queue channel (a restart must never drop
@@ -811,11 +833,14 @@ func (o jobObserver) ObservePhase(p obs.Phase, step int, ns int64) {
 		// The same in-loop time CheckpointStallNs accumulates (over in
 		// ckptWriter.Deliver) — histogram only here, no double count.
 		o.m.CheckpointGather.Observe(ns)
+	case obs.PhaseTile:
+		o.m.TileDuration.Observe(ns)
 	}
-	// The command-word broadcast happens every step; recording each one
-	// would wash every lifecycle event out of the ring, so the
-	// collective phase stays histogram-only.
-	if p != obs.PhaseCollective {
+	// The command-word broadcast happens every step, and tile samples
+	// arrive once per worker per sampled step; recording each one would
+	// wash every lifecycle event out of the ring, so both phases stay
+	// histogram-only.
+	if p != obs.PhaseCollective && p != obs.PhaseTile {
 		o.j.rec.Record(obs.PhaseEventName(p), step, ns, "")
 	}
 }
@@ -844,12 +869,25 @@ func (m *Manager) run(j *Job) {
 		m.finish(j, err, false)
 		return
 	}
+	if cfg.Threads == 0 {
+		// Spec left the knob unset: use the daemon default (clamped at
+		// construction). Explicit spec values passed Validate's cap.
+		cfg.Threads = m.solverThreads
+	}
 	cfg.Controller = j.ctrl
 	cfg.Phases = jobObserver{m: m.metrics, j: j}
 	cfg.OnStep = func(step, total int) { j.step.Store(int64(step)) }
 	cfg.OnSnapshot = func(s *core.Snapshot) {
 		m.metrics.SnapshotsTotal.Add(1)
 		j.rec.Record(obs.EvSnapshotPublish, s.Step, 0, "")
+		if s.Diverged && !j.diverged.Swap(true) {
+			// Latch once per job: the solver has blown up (non-finite
+			// fields) — make it loud instead of serving NaN-grey frames
+			// with a healthy-looking status.
+			m.metrics.JobsDiverged.Add(1)
+			j.rec.Record(obs.EvDiverged, s.Step, 0, "non-finite values in gathered fields")
+			j.log.Warn("simulation diverged: non-finite values in gathered fields", "step", s.Step)
+		}
 		j.publishSnapshot(s)
 	}
 	// Demand-driven publication: the solver gathers a snapshot only

@@ -70,6 +70,9 @@ type Metrics struct {
 	CheckpointStallNs    atomic.Int64
 	CheckpointsCoalesced atomic.Int64
 	SnapshotsSkipped     atomic.Int64
+	// JobsDiverged counts jobs whose published snapshot fields went
+	// non-finite — the simulation blew up. Latched once per job.
+	JobsDiverged atomic.Int64
 
 	// Latency histograms (log-bucketed, nanosecond samples). The solver
 	// phase histograms fold rank-0 timings from every running job:
@@ -81,12 +84,17 @@ type Metrics struct {
 	// the writer goroutine, RenderLatency the pool's submit→PNG path
 	// (the same samples FrameLatencyNs means over), and HTTPLatency is
 	// a per-route family fed by the server middleware.
+	// TileDuration samples per-worker collide+stream tile durations on
+	// tiled solvers (same cadence as StepDuration): the spread between
+	// its p50 and p99 is intra-rank load imbalance the aggregate step
+	// histogram hides.
 	StepDuration     obs.Histogram
 	CollectiveWait   obs.Histogram
 	FieldGather      obs.Histogram
 	CheckpointGather obs.Histogram
 	CheckpointWrite  obs.Histogram
 	RenderLatency    obs.Histogram
+	TileDuration     obs.Histogram
 	HTTPLatency      obs.HistogramSet
 }
 
@@ -136,6 +144,7 @@ func (m *Metrics) rows() []counterRow {
 		{"hemeserved_checkpoint_stall_ns_total", m.CheckpointStallNs.Load(), "counter", "Solver-loop time spent on checkpoint gathers, nanoseconds."},
 		{"hemeserved_checkpoints_coalesced_total", m.CheckpointsCoalesced.Load(), "counter", "Gathered checkpoint states overwritten before being written."},
 		{"hemeserved_snapshots_skipped_total", m.SnapshotsSkipped.Load(), "counter", "Snapshot cadence boundaries skipped for lack of interest."},
+		{"hemeserved_jobs_diverged_total", m.JobsDiverged.Load(), "counter", "Jobs whose snapshot fields went non-finite (simulation blow-up)."},
 	}
 }
 
@@ -154,6 +163,7 @@ func (m *Metrics) histograms() []histogramRow {
 		{"hemeserved_checkpoint_gather", &m.CheckpointGather, "In-loop checkpoint state gather duration (rank 0)."},
 		{"hemeserved_checkpoint_write", &m.CheckpointWrite, "Checkpoint encode+fsync duration on the writer goroutine."},
 		{"hemeserved_render_latency", &m.RenderLatency, "Render pool latency, task submit to PNG encoded."},
+		{"hemeserved_tile_duration", &m.TileDuration, "Per-worker collide+stream tile duration (rank 0, sampled; tiled solvers only)."},
 	}
 }
 

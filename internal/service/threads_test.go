@@ -1,0 +1,122 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpecThreadsValidation: the per-job worker request is capped so
+// one tenant cannot spawn an unbounded goroutine fleet on a shared
+// daemon (0 = daemon default, 16 = ceiling).
+func TestSpecThreadsValidation(t *testing.T) {
+	base := JobSpec{Preset: "pipe", Steps: 100}
+	for _, threads := range []int{0, 1, 8, 16} {
+		sp := base
+		sp.Threads = threads
+		if err := sp.Validate(); err != nil {
+			t.Errorf("threads=%d rejected: %v", threads, err)
+		}
+	}
+	for _, threads := range []int{-1, 17, 1000} {
+		sp := base
+		sp.Threads = threads
+		if err := sp.Validate(); err == nil {
+			t.Errorf("threads=%d accepted, want rejection", threads)
+		}
+	}
+}
+
+// TestSolverThreadsDefaultClamped: the daemon-wide -solver-threads
+// default is clamped to the same [1, 16] range as per-spec requests.
+func TestSolverThreadsDefaultClamped(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {4, 4}, {16, 16}, {99, 16},
+	} {
+		m := NewManagerOpts(Options{Workers: 1, QueueCap: 1, SolverThreads: tc.in})
+		if m.solverThreads != tc.want {
+			t.Errorf("SolverThreads %d clamped to %d, want %d", tc.in, m.solverThreads, tc.want)
+		}
+		m.Close()
+	}
+}
+
+// TestTiledJobDivergedLatch blows up a tiled job mid-run (an absurd
+// iolet density is the classic operator fat-finger) and checks the
+// whole diagnostics chain the satellite added: JobInfo.Diverged flips,
+// hemeserved_jobs_diverged_total increments once, and the flight
+// recorder holds a diverged event — instead of the old failure mode of
+// silently rendering NaN-grey frames under a reassuring MaxSpeed.
+func TestTiledJobDivergedLatch(t *testing.T) {
+	// A big flight-recorder ring: the event flood of a fast-stepping
+	// job (snapshot-skip every cadence) must not evict the diverged
+	// event before the test reads it back.
+	mgr := NewManagerOpts(Options{Workers: 1, QueueCap: 4, EventRing: 1 << 16})
+	srv := NewServer(mgr)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	base := "http://" + srv.Addr()
+
+	// tau near the 0.5 stability limit so the poisoned inlet blows up
+	// within a few steps rather than a few thousand.
+	j := submit(t, base, `{"preset":"pipe","steps":2000000,"threads":2,"tau":0.51,"viz_every":-1,"snapshot_every":4}`)
+	waitFor(t, "job running", func() bool {
+		var info JobInfo
+		httpJSON(t, "GET", base+"/api/v1/jobs/"+j.ID, "", &info)
+		return info.State == StateRunning
+	})
+	if code := httpJSON(t, "POST", base+"/api/v1/jobs/"+j.ID+"/steer",
+		`{"op":"set-iolet","iolet":0,"density":1000000}`, nil); code != http.StatusOK {
+		t.Fatalf("steer set-iolet: status %d", code)
+	}
+	// Snapshots are demand-driven, so divergence detection (which rides
+	// the snapshot gather) needs a data-plane consumer. A live stream
+	// subscriber keeps the interest latch set, making the solver publish
+	// at every cadence check — one-shot /data polls would race the
+	// tiny freshness window of a microseconds-per-step toy domain.
+	streamCtx, stopStream := context.WithCancel(context.Background())
+	defer stopStream()
+	sreq, err := http.NewRequestWithContext(streamCtx, "GET", base+"/api/v1/jobs/"+j.ID+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srep, err := http.DefaultClient.Do(sreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srep.Body.Close()
+	go io.Copy(io.Discard, srep.Body)
+
+	waitFor(t, "diverged flag", func() bool {
+		var info JobInfo
+		httpJSON(t, "GET", base+"/api/v1/jobs/"+j.ID, "", &info)
+		return info.Diverged
+	})
+	if n := metric(t, base, "hemeserved_jobs_diverged_total"); n != 1 {
+		t.Errorf("hemeserved_jobs_diverged_total = %d, want 1 (latch must fire once)", n)
+	}
+	code, body := httpGetRaw(t, base+"/api/v1/jobs/"+j.ID+"/events")
+	if code != http.StatusOK {
+		t.Fatalf("/events status %d", code)
+	}
+	if !strings.Contains(string(body), `"diverged"`) {
+		t.Errorf("flight recorder holds no diverged event: %s", body)
+	}
+	// Let a few more (still non-finite) snapshots publish: the latch
+	// must not double-count.
+	time.Sleep(200 * time.Millisecond)
+	if n := metric(t, base, "hemeserved_jobs_diverged_total"); n != 1 {
+		t.Errorf("hemeserved_jobs_diverged_total = %d after more snapshots, want 1", n)
+	}
+}
