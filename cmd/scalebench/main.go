@@ -139,7 +139,18 @@ func main() {
 	threadSteps := flag.Int("thread-steps", 100, "solver steps per tiling-sweep point")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file (\"-\" = stdout)")
 	compare := flag.Bool("compare", false, "compare two -json result files: scalebench -compare old.json new.json")
+	chaosMode := flag.Bool("chaos", false, "run the crash-consistency chaos soak instead of the scaling benches")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos soak: first fault-injection seed")
+	chaosSeeds := flag.Int("chaos-seeds", 1, "chaos soak: number of consecutive seeds to sweep")
+	chaosCases := flag.Int("chaos-cases", 0, "chaos soak: cap on injected cases per fault kind (0 = every op of the reference run)")
 	flag.Parse()
+
+	if *chaosMode {
+		if err := chaosSoak(os.Stdout, *chaosSeed, *chaosSeeds, *chaosCases); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {

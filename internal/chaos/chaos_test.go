@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/leaktest"
+)
+
+// The flags turn a failure line back into a single-case run:
+//
+//	go test ./internal/chaos -run 'TestChaos$' -chaos-seed=S -chaos-at=K -chaos-kind=crash
+var (
+	chaosOps  = flag.Int("chaos-ops", 0, "cap on injected crash cases (0 = every op of the reference run)")
+	chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection seed")
+	chaosAt   = flag.Int64("chaos-at", 0, "inject at exactly this op index (reproduction mode; 0 = sweep)")
+	chaosKind = flag.String("chaos-kind", "crash", "fault kind: err, short, torn, crash")
+)
+
+func chaosConfig(t *testing.T) Config {
+	t.Helper()
+	kind, err := faultfs.ParseFaultKind(*chaosKind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Seed: *chaosSeed, MaxCases: *chaosOps, At: *chaosAt, Kind: kind, Logf: t.Logf}
+}
+
+// TestChaos is the crash sweep: power cut at every counted I/O op of
+// the reference run (or the -chaos-ops/-chaos-at subset), recovery
+// verified for each.
+func TestChaos(t *testing.T) {
+	t.Cleanup(leaktest.Check(t))
+	cfg := chaosConfig(t)
+	if testing.Short() && cfg.MaxCases == 0 && cfg.At == 0 {
+		cfg.MaxCases = 12
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("chaos: %d/%d cases fired over %d reference ops", rep.Fired, rep.Cases, rep.RefOps)
+	if cfg.At == 0 && rep.Fired == 0 {
+		t.Fatal("sweep injected faults but none fired; harness is not aiming at the I/O path")
+	}
+}
+
+// kindSweep runs a bounded sweep of a non-crash fault kind; crash
+// coverage is TestChaos's job.
+func kindSweep(t *testing.T, kind faultfs.FaultKind) {
+	t.Cleanup(leaktest.Check(t))
+	cfg := chaosConfig(t)
+	cfg.Kind = kind
+	if cfg.At == 0 {
+		cfg.MaxCases = 8
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.At == 0 && rep.Fired == 0 {
+		t.Fatalf("no %s fault fired across %d cases", kind, rep.Cases)
+	}
+}
+
+// TestChaosTransientErrors: a store that intermittently fails must
+// degrade durability, never the computation.
+func TestChaosTransientErrors(t *testing.T) { kindSweep(t, faultfs.FaultErr) }
+
+// TestChaosShortWrites: interrupted writes land in temp files only;
+// the atomic-rename discipline keeps every visible file whole.
+func TestChaosShortWrites(t *testing.T) { kindSweep(t, faultfs.FaultShortWrite) }
+
+// TestChaosTornWrites: silent single-byte corruption must be *caught*
+// (CRC on journal records, checksum verify on checkpoints) and fallen
+// back from — never trusted.
+func TestChaosTornWrites(t *testing.T) { kindSweep(t, faultfs.FaultTornWrite) }
+
+// TestChaosHookPoints crashes at the named scheduling seams above the
+// store (async checkpoint swap/write, journal append, recovery
+// replay), including the crash-during-recovery double fault.
+func TestChaosHookPoints(t *testing.T) {
+	t.Cleanup(leaktest.Check(t))
+	if err := RunHooks(Config{Seed: *chaosSeed, Logf: t.Logf}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package chaos
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/service"
+	"repro/internal/service/store"
+)
+
+// RunHooks cuts power at each named crash point the service exposes
+// (service.ChaosHook): mid journal append, at the async checkpoint
+// swap, just before the checkpoint write, and in the middle of
+// recovery replay itself. The op-index sweep in Run covers the store's
+// I/O schedule; these cover the scheduling seams *above* the store,
+// where an op-counter cannot aim (the async writer runs on its own
+// goroutine, and recovery happens before any counted write).
+func RunHooks(cfg Config) error {
+	cfg.defaults()
+	cfg.Kind = faultfs.FaultCrash // hooks model power cuts only
+	ref, err := cfg.reference()
+	if err != nil {
+		return fmt.Errorf("chaos: reference run (seed=%d): %w", cfg.Seed, err)
+	}
+	// Each point is hit at its 1st and a later occurrence: the first
+	// firing catches the setup path (first journal write, first
+	// checkpoint), the later one steady state.
+	for _, tc := range []struct {
+		point string
+		hit   int64
+	}{
+		{service.ChaosJournalAppend, 1},
+		{service.ChaosJournalAppend, 4},
+		{service.ChaosCheckpointSwap, 1},
+		{service.ChaosCheckpointSwap, 2},
+		{service.ChaosCheckpointWrite, 1},
+		{service.ChaosCheckpointWrite, 3},
+	} {
+		if err := cfg.runHookCase(tc.point, tc.hit, ref); err != nil {
+			return fmt.Errorf("chaos: crash at hook %s (hit %d, seed=%d): %w", tc.point, tc.hit, cfg.Seed, err)
+		}
+		cfg.Logf("chaos: hook %s hit %d passed", tc.point, tc.hit)
+	}
+	for _, hit := range []int64{1, 2} {
+		if err := cfg.runRecoveryReplayCase(hit, ref); err != nil {
+			return fmt.Errorf("chaos: crash at hook %s (hit %d, seed=%d): %w", service.ChaosRecoveryReplay, hit, cfg.Seed, err)
+		}
+		cfg.Logf("chaos: hook %s hit %d passed", service.ChaosRecoveryReplay, hit)
+	}
+	return nil
+}
+
+// crashAt builds a ChaosHook that cuts power the hit'th time point
+// fires.
+func crashAt(fsys *faultfs.Mem, point string, hit int64) service.ChaosHook {
+	var n atomic.Int64
+	return func(p, _ string) {
+		if p == point && n.Add(1) == hit {
+			fsys.CrashNow()
+		}
+	}
+}
+
+// runHookCase crashes at a hook point during a normal run, then
+// verifies recovery exactly like an op-index case.
+func (c Config) runHookCase(point string, hit int64, ref *reference) error {
+	fsys := faultfs.NewMem(c.Seed)
+	st, err := store.OpenFS(fsys, storeRoot)
+	if err != nil {
+		return err
+	}
+	metrics := &service.Metrics{}
+	mgr := service.NewManagerOpts(service.Options{
+		Workers: 1, QueueCap: 4, Store: st, Metrics: metrics,
+		ChaosHook: crashAt(fsys, point, hit),
+	})
+	j, _, serr := runScenario(mgr, fsys, c.spec(), metrics)
+	var id string
+	if j != nil {
+		id = j.ID
+	}
+	if serr != nil && !fsys.Crashed() {
+		mgr.Close()
+		return serr
+	}
+	mgr.Close()
+	fsys.PowerCycle()
+	return c.verifyRecovery(fsys, ref, id)
+}
+
+// runRecoveryReplayCase interrupts a run, then crashes again in the
+// middle of the *recovery* that follows — the double-crash case — and
+// requires the third boot to bring the job home.
+func (c Config) runRecoveryReplayCase(hit int64, ref *reference) error {
+	fsys := faultfs.NewMem(c.Seed)
+	st, err := store.OpenFS(fsys, storeRoot)
+	if err != nil {
+		return err
+	}
+	mgr := service.NewManagerOpts(service.Options{Workers: 1, QueueCap: 4, Store: st})
+	// A short job that finishes before the crash, so the replay loop has
+	// two ids to walk: hit 1 crashes while replaying the finished one,
+	// hit 2 while replaying the interrupted one.
+	short := c.spec()
+	short.Steps = 64
+	helper, serr := mgr.Submit(short)
+	if serr != nil {
+		mgr.Close()
+		return serr
+	}
+	deadline := time.Now().Add(waitLimit)
+	for helper.State() != service.StateDone {
+		if helper.State().Terminal() {
+			return fmt.Errorf("helper job ended %s", helper.State())
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("helper job stuck at step %d", helper.Step())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j, serr := mgr.Submit(c.spec())
+	if serr != nil {
+		mgr.Close()
+		return serr
+	}
+	// Run past a couple of checkpoints, then cut power mid-flight.
+	for j.Step() < 2*32+5 && !j.State().Terminal() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job stuck at step %d before first crash", j.Step())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fsys.CrashNow()
+	mgr.Close()
+	fsys.PowerCycle()
+
+	// Boot #2 crashes during its own recovery replay.
+	st2, err := store.OpenFS(fsys, storeRoot)
+	if err != nil {
+		return fmt.Errorf("store did not reopen after power cut: %w", err)
+	}
+	mgr2 := service.NewManagerOpts(service.Options{
+		Workers: 1, QueueCap: 4, Store: st2,
+		ChaosHook: crashAt(fsys, service.ChaosRecoveryReplay, hit),
+	})
+	mgr2.Close()
+	if !fsys.Crashed() {
+		return fmt.Errorf("recovery replay never reached hit %d", hit)
+	}
+	fsys.PowerCycle()
+
+	// Boot #3 must recover everything.
+	return c.verifyRecovery(fsys, ref, j.ID)
+}

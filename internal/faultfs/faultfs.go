@@ -1,0 +1,94 @@
+// Package faultfs is the injectable filesystem seam under the durable
+// job store: the narrow set of operations the store needs (create,
+// write, fsync, rename, remove, list, directory sync), expressed as an
+// interface whose default implementation is the os package and whose
+// test implementation (Mem) models durability the way a real disk
+// does — data and directory entries survive a power cut only once
+// fsynced — and can inject failures, short writes, torn (silently
+// corrupted) writes, or a full crash at the Nth I/O operation,
+// deterministically seeded.
+//
+// The split matters for crash-consistency testing: store code runs
+// unmodified against either implementation, so the chaos harness
+// (internal/chaos) can re-execute a reference run and cut power at
+// every individual I/O operation without touching a real disk or a
+// single build tag.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the writable-file slice of *os.File the store uses: stream
+// writes, fsync, close. Name reports the path the file was created at.
+type File interface {
+	io.Writer
+	Name() string
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem the store runs on. Implementations must be safe
+// for concurrent use.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// CreateTemp creates a new unique file in dir; the final "*" in
+	// pattern is replaced to make the name unique (os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file; RemoveAll a whole tree.
+	Remove(name string) error
+	RemoveAll(path string) error
+	// ReadFile returns a file's full contents.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory, sorted by name.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Glob returns the paths matching pattern (filepath.Glob rules; no
+	// "**"). A pattern that matches nothing returns an empty slice.
+	Glob(pattern string) ([]string, error)
+	// SyncDir fsyncs a directory's entries, making renames and
+	// creations inside it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: a direct passthrough to the os package.
+type OS struct{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// CreateTemp implements FS.
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// RemoveAll implements FS.
+func (OS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// Glob implements FS.
+func (OS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+// SyncDir implements FS.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -167,22 +167,51 @@ func readCheckpointBody(br *bufio.Reader, ci CheckpointInfo, rawHeader []byte) (
 	crc := crc64.New(crcTable)
 	crc.Write(rawHeader)
 	tr := io.TeeReader(br, crc)
-	iolets = make([]float64, ci.Iolets)
-	if err := binary.Read(tr, binary.LittleEndian, &iolets); err != nil {
+	if iolets, err = readF64s(tr, ci.Iolets); err != nil {
 		return nil, nil, fmt.Errorf("lb: restore iolets: %w", err)
 	}
-	f = make([]float64, ci.Sites*ci.Q)
-	if err := binary.Read(tr, binary.LittleEndian, &f); err != nil {
+	if f, err = readF64s(tr, ci.Sites*ci.Q); err != nil {
 		return nil, nil, fmt.Errorf("lb: restore populations: %w", err)
 	}
-	var want uint64
-	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+	var trail [8]byte
+	if _, err := io.ReadFull(br, trail[:]); err != nil {
 		return nil, nil, fmt.Errorf("lb: restore crc: %w", err)
 	}
-	if got := crc.Sum64(); got != want {
+	if got, want := crc.Sum64(), binary.LittleEndian.Uint64(trail[:]); got != want {
 		return nil, nil, fmt.Errorf("lb: checkpoint corrupt (crc %#x, want %#x)", got, want)
 	}
 	return iolets, f, nil
+}
+
+// readF64s decodes count little-endian float64s from r through a
+// bounded scratch chunk, growing the result only as bytes actually
+// arrive. The header's claimed shape therefore sizes nothing up front:
+// a corrupted-but-plausible header over a truncated stream fails at
+// EOF after one chunk, where handing the count straight to make (or
+// binary.Read, which shadow-allocates count*8 bytes) would commit
+// gigabytes before the CRC could object. The fault-injection harness
+// caught this on bit-flipped header sweeps.
+func readF64s(r io.Reader, count int) ([]float64, error) {
+	const per = 8192 // floats per read: 64 KiB chunks
+	var scratch [per * 8]byte
+	cap0 := count
+	if cap0 > per {
+		cap0 = per
+	}
+	out := make([]float64, 0, cap0)
+	for len(out) < count {
+		n := count - len(out)
+		if n > per {
+			n = per
+		}
+		if _, err := io.ReadFull(r, scratch[:n*8]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(scratch[i*8:])))
+		}
+	}
+	return out, nil
 }
 
 // PeekCheckpoint parses and sanity-checks only the fixed header —

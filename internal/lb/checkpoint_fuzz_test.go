@@ -1,0 +1,135 @@
+package lb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// tinyCheckpoint returns a minimal valid checkpoint stream (160
+// bytes). The format carries its own shape, so nothing forces a real
+// lattice: a 4-site Q=3 stream exercises exactly the decoder paths a
+// 46 KB solver checkpoint would, and keeps fuzz inputs small enough
+// that corpus minimization stays cheap.
+func tinyCheckpoint(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	f := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	if err := writeCheckpoint(&buf, 7, []float64{1.01, 0.99}, f, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSolverCheckpointVerifies keeps the synthetic fuzz seed honest: a
+// real solver checkpoint passes the same decoder.
+func TestSolverCheckpointVerifies(t *testing.T) {
+	dom := pipeDomain(t, 10, 2, 1.0)
+	s, err := New(dom, Params{Tau: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Advance(7)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	info, err := VerifyCheckpointBytes(buf.Bytes())
+	if err != nil || info.Step != 7 {
+		t.Fatalf("real checkpoint: (%+v, %v)", info, err)
+	}
+}
+
+// bigHeader returns a header-only stream whose shape passes validation
+// but implies a multi-gigabyte body.
+func bigHeader() []byte {
+	var buf bytes.Buffer
+	for _, v := range []uint64{checkpointMagic, 1, maxCheckpointSites, 64, 0} {
+		binary.Write(&buf, binary.LittleEndian, v)
+	}
+	return buf.Bytes()
+}
+
+// TestTruncatedBigHeaderFailsFast pins the decode-hardening fix the
+// chaos harness motivated: a truncated stream whose (plausible) header
+// claims ~2^34 floats used to size the population buffer up front —
+// committing gigabytes before EOF — where the chunked reader now fails
+// after one 64 KiB chunk.
+func TestTruncatedBigHeaderFailsFast(t *testing.T) {
+	data := bigHeader()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := DecodeCheckpoint(bytes.NewReader(data))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("truncated big-header stream decoded successfully")
+	}
+	if alloc := after.TotalAlloc - before.TotalAlloc; alloc > 16<<20 {
+		t.Fatalf("decoding a truncated big-header stream allocated %d bytes", alloc)
+	}
+}
+
+// TestReaderPathRejectsBitFlips sweeps a single bit flip over every
+// byte of a valid stream through the io.Reader decode path (the store
+// uses the stricter bytes path; Solver.Restore and Dist.Restore use
+// this one).
+func TestReaderPathRejectsBitFlips(t *testing.T) {
+	data := tinyCheckpoint(t)
+	for i := range data {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x10
+		if _, err := VerifyCheckpoint(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at byte %d/%d verified", i, len(data))
+		}
+	}
+}
+
+// FuzzVerifyCheckpoint drives the checkpoint decoder with arbitrary
+// bytes. Properties: never panic, never allocate past a truncated
+// stream's actual length (enforced by the fail-fast test above and the
+// fuzzer's resource limits), and on acceptance: the reader and bytes
+// paths agree, and the decoded state re-encodes to the exact input —
+// the format is canonical, so accept implies bit-exact round trip.
+func FuzzVerifyCheckpoint(f *testing.F) {
+	valid := tinyCheckpoint(f)
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-9])        // body truncated mid-floats
+	f.Add(valid[:checkpointHeaderLen]) // header only
+	f.Add(bigHeader())                 // plausible shape, no body
+	f.Add(append(valid, 0))            // trailing garbage
+	f.Add([]byte(strings.Repeat("lbcq", 12)))
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, err := VerifyCheckpointBytes(data)
+		st, rerr := DecodeCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// The bytes path is the stricter one (exact-length pre-check):
+		// anything it accepts the reader path must accept identically.
+		if rerr != nil {
+			t.Fatalf("bytes path accepted, reader path rejected: %v", rerr)
+		}
+		if st.Info != info {
+			t.Fatalf("decoded header %+v != verified header %+v", st.Info, info)
+		}
+		if len(st.IoletRho) != info.Iolets || len(st.F) != info.Sites*info.Q {
+			t.Fatalf("decoded shape (%d iolets, %d floats) disagrees with header %+v",
+				len(st.IoletRho), len(st.F), info)
+		}
+		var out bytes.Buffer
+		if err := st.EncodeTo(&out); err != nil {
+			t.Fatalf("re-encode of accepted checkpoint failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("accepted checkpoint does not re-encode canonically (%d vs %d bytes)",
+				out.Len(), len(data))
+		}
+	})
+}

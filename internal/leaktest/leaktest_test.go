@@ -1,0 +1,73 @@
+package leaktest
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCheckPassesWhenGoroutinesExit covers the happy path: a goroutine
+// started after the snapshot that exits before (or shortly after) the
+// check runs is not a leak.
+func TestCheckPassesWhenGoroutinesExit(t *testing.T) {
+	check := Check(t)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond) // still running when check starts
+		close(done)
+	}()
+	check() // must wait out the retry window, not fail instantly
+	<-done
+}
+
+// TestLeakedDetectsParkedGoroutine exercises the detection path
+// without the 30s Fatalf (which would fail this test): a goroutine
+// parked on a channel shows up in the diff, and disappears once
+// released.
+func TestLeakedDetectsParkedGoroutine(t *testing.T) {
+	base := stacks()
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	go func() {
+		close(parked)
+		<-release
+	}()
+	<-parked
+	if got := leaked(base); len(got) == 0 {
+		t.Fatal("parked goroutine not reported as leaked")
+	}
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(leaked(base)) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("released goroutine still reported as leaked")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCheckCallsSettleFunctions verifies settle hooks run both at
+// snapshot time and on retries.
+func TestCheckCallsSettleFunctions(t *testing.T) {
+	calls := 0
+	check := Check(t, func() { calls++ })
+	if calls != 1 {
+		t.Fatalf("settle not called at snapshot: %d", calls)
+	}
+	check()
+	if calls < 2 {
+		t.Fatalf("settle not called during check: %d", calls)
+	}
+}
+
+// TestCheckIdempotent: explicit call plus a t.Cleanup registration
+// must not run the (possibly slow) scan twice.
+func TestCheckIdempotent(t *testing.T) {
+	calls := 0
+	check := Check(t, func() { calls++ })
+	check()
+	after := calls
+	check()
+	if calls != after {
+		t.Fatalf("second check() re-ran the scan (%d -> %d settle calls)", after, calls)
+	}
+}

@@ -53,7 +53,7 @@ func testState(step int) *lb.CheckpointState {
 func TestCkptWriterCoalescesUnderBackpressure(t *testing.T) {
 	metrics := &Metrics{}
 	p := &gatedPutter{entered: make(chan struct{}, 4), release: make(chan struct{}, 4)}
-	w := newCkptWriter(p, "job-test", metrics, nil, nil)
+	w := newCkptWriter(p, "job-test", metrics, nil, nil, nil)
 
 	// First checkpoint: no buffer exists yet, core would allocate.
 	if st := w.TakeBuffer(); st != nil {
@@ -111,7 +111,7 @@ func TestCkptWriterCoalescesUnderBackpressure(t *testing.T) {
 // writer down cleanly.
 func TestCkptWriterCloseWithoutDeliveries(t *testing.T) {
 	p := &gatedPutter{entered: make(chan struct{}, 1), release: make(chan struct{}, 1)}
-	w := newCkptWriter(p, "job-test", &Metrics{}, nil, nil)
+	w := newCkptWriter(p, "job-test", &Metrics{}, nil, nil, nil)
 	w.Close()
 	w.Close() // idempotent
 	if len(p.steps) != 0 {

@@ -44,6 +44,9 @@ type ckptWriter struct {
 	// recorder; log is never nil.
 	rec *obs.Recorder
 	log *slog.Logger
+	// chaos observes the ckpt.swap / ckpt.write crash points (nil in
+	// production).
+	chaos ChaosHook
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -61,13 +64,13 @@ type ckptWriter struct {
 	done chan struct{}
 }
 
-// newCkptWriter starts the writer goroutine for one job. rec and log
-// may be nil (no flight recorder / discarded logs).
-func newCkptWriter(store checkpointPutter, id string, metrics *Metrics, rec *obs.Recorder, log *slog.Logger) *ckptWriter {
+// newCkptWriter starts the writer goroutine for one job. rec, log and
+// chaos may be nil (no flight recorder / discarded logs / no chaos).
+func newCkptWriter(store checkpointPutter, id string, metrics *Metrics, rec *obs.Recorder, log *slog.Logger, chaos ChaosHook) *ckptWriter {
 	if log == nil {
 		log = obs.NopLogger()
 	}
-	w := &ckptWriter{store: store, id: id, metrics: metrics, rec: rec, log: log, done: make(chan struct{})}
+	w := &ckptWriter{store: store, id: id, metrics: metrics, rec: rec, log: log, chaos: chaos, done: make(chan struct{})}
 	w.cond = sync.NewCond(&w.mu)
 	go w.loop()
 	return w
@@ -100,6 +103,9 @@ func (w *ckptWriter) TakeBuffer() *lb.CheckpointState {
 // Deliver implements core.CheckpointSink: publish the gathered state
 // to the writer goroutine and return immediately.
 func (w *ckptWriter) Deliver(st *lb.CheckpointState) {
+	if w.chaos != nil {
+		w.chaos(ChaosCheckpointSwap, w.id)
+	}
 	w.mu.Lock()
 	w.pending = st
 	if !w.takenAt.IsZero() {
@@ -171,6 +177,9 @@ func (w *ckptWriter) write(st *lb.CheckpointState) {
 		w.metrics.StoreErrors.Add(1)
 		w.log.Warn("checkpoint encode failed", "step", st.Info.Step, "err", err)
 		return
+	}
+	if w.chaos != nil {
+		w.chaos(ChaosCheckpointWrite, w.id)
 	}
 	if err := w.store.PutCheckpoint(w.id, w.enc.Bytes()); err != nil {
 		w.metrics.StoreErrors.Add(1)

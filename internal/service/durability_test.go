@@ -49,6 +49,7 @@ func waitCheckpoint(t *testing.T, st *store.Store, id string) int {
 // final fields bit-exact against an uninterrupted run of the same
 // spec.
 func TestKillAndResumeBitExact(t *testing.T) {
+	t.Cleanup(goroutineBaseline(t))
 	dir := t.TempDir()
 	spec := durableSpec(8000)
 
@@ -141,6 +142,7 @@ func TestKillAndResumeBitExact(t *testing.T) {
 // checkpoint file is garbage must recover as a clean restart from
 // step 0 — degraded, never a crash or a failed job.
 func TestCorruptCheckpointFallsBackToStepZero(t *testing.T) {
+	t.Cleanup(goroutineBaseline(t))
 	dir := t.TempDir()
 	spec := durableSpec(600)
 
@@ -187,11 +189,86 @@ func TestCorruptCheckpointFallsBackToStepZero(t *testing.T) {
 	}
 }
 
+// TestMissingCheckpointFileRestartsFromZero: a journal whose state
+// record says "running, checkpointed" but whose checkpoint.bin is gone
+// (crashed mid-first-write, or the file was manually removed) must
+// degrade to a restart from step 0 for that job — never fail the whole
+// recovery, never poison the other jobs, and never count as a corrupt
+// checkpoint (absence is the normal not-yet-checkpointed shape).
+func TestMissingCheckpointFileRestartsFromZero(t *testing.T) {
+	t.Cleanup(goroutineBaseline(t))
+	dir := t.TempDir()
+	spec := durableSpec(600)
+
+	// Two concurrent jobs, both checkpointed, then a kill.
+	st1 := openStore(t, dir)
+	mgr1 := NewManagerOpts(Options{Workers: 2, QueueCap: 4, Store: st1})
+	jA, err := mgr1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jB, err := mgr1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCheckpoint(t, st1, jA.ID)
+	stepB := waitCheckpoint(t, st1, jB.ID)
+	st1.Freeze()
+	mgr1.Close()
+
+	// Job A loses its checkpoint file; job B keeps its tree intact.
+	if err := os.Remove(filepath.Join(dir, "jobs", jA.ID, "checkpoint.bin")); err != nil {
+		t.Fatal(err)
+	}
+
+	metrics := &Metrics{}
+	mgr2 := NewManagerOpts(Options{Workers: 2, QueueCap: 4, Store: openStore(t, dir), Metrics: metrics})
+	defer mgr2.Close()
+	// Missing is not corrupt: no invalid-checkpoint count, no store
+	// error — the job simply has nothing to resume from.
+	if n := metrics.CheckpointsInvalid.Load(); n != 0 {
+		t.Errorf("checkpoints_invalid = %d for a merely missing file, want 0", n)
+	}
+	if n := metrics.StoreErrors.Load(); n != 0 {
+		t.Errorf("store_errors = %d, want 0", n)
+	}
+	a2, err := mgr2.Get(jA.ID)
+	if err != nil {
+		t.Fatalf("job with missing checkpoint dropped from recovery: %v", err)
+	}
+	if info := a2.Info(); !info.Recovered || info.ResumedFromStep != 0 {
+		t.Errorf("missing-checkpoint job: recovered=%v resumed_from_step=%d, want true/0",
+			info.Recovered, info.ResumedFromStep)
+	}
+	b2, err := mgr2.Get(jB.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := b2.Info(); !info.Recovered || info.ResumedFromStep != stepB {
+		t.Errorf("intact job: recovered=%v resumed_from_step=%d, want true/%d",
+			info.Recovered, info.ResumedFromStep, stepB)
+	}
+	// Both re-runs complete: A from scratch, B from its checkpoint.
+	waitFor(t, "both re-runs done", func() bool {
+		return a2.State().Terminal() && b2.State().Terminal()
+	})
+	if st := a2.State(); st != StateDone {
+		t.Errorf("missing-checkpoint job ended %s (%s)", st, a2.Info().Error)
+	}
+	if st := b2.State(); st != StateDone {
+		t.Errorf("intact job ended %s (%s)", st, b2.Info().Error)
+	}
+	if s := a2.Step(); s != spec.Steps {
+		t.Errorf("restarted job finished at step %d, want %d", s, spec.Steps)
+	}
+}
+
 // TestGracefulShutdownResumesToo: a SIGTERM-style Close must leave the
 // store's interrupted record intact (not "cancelled"), so the next
 // boot resumes the job exactly like a crash would — restarts lose
 // nothing either way. A job the user cancelled stays cancelled.
 func TestGracefulShutdownResumesToo(t *testing.T) {
+	t.Cleanup(goroutineBaseline(t))
 	dir := t.TempDir()
 	spec := durableSpec(8000)
 
@@ -251,6 +328,7 @@ func TestGracefulShutdownResumesToo(t *testing.T) {
 // history with their final step, and new submissions continue the ID
 // sequence instead of colliding with journaled ones.
 func TestDoneJobsSurviveAsHistory(t *testing.T) {
+	t.Cleanup(goroutineBaseline(t))
 	dir := t.TempDir()
 	spec := durableSpec(400)
 

@@ -3,37 +3,12 @@ package service
 import (
 	"context"
 	"net/http"
-	"runtime"
 	"testing"
 	"time"
 )
 
 // longSpec is a job that outlives any test body; cleanup cancels it.
 const longSpec = `{"preset":"pipe","steps":2000000,"viz_every":-1}`
-
-// goroutineBaseline snapshots the goroutine count and returns a check
-// that fails the test if, after everything is shut down, the count has
-// not settled back near the baseline — the no-leak assertion each
-// lifecycle edge requires.
-func goroutineBaseline(t *testing.T) func() {
-	t.Helper()
-	http.DefaultClient.CloseIdleConnections()
-	base := runtime.NumGoroutine()
-	return func() {
-		t.Helper()
-		http.DefaultClient.CloseIdleConnections()
-		deadline := time.Now().Add(30 * time.Second)
-		for runtime.NumGoroutine() > base+3 {
-			if time.Now().After(deadline) {
-				buf := make([]byte, 1<<16)
-				n := runtime.Stack(buf, true)
-				t.Fatalf("goroutines leaked: %d now vs %d at baseline\n%s",
-					runtime.NumGoroutine(), base, buf[:n])
-			}
-			time.Sleep(20 * time.Millisecond)
-		}
-	}
-}
 
 func jobInfo(t *testing.T, base, id string) JobInfo {
 	t.Helper()

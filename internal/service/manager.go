@@ -42,6 +42,32 @@ func (s JobState) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// ChaosHook observes named crash points on the durable-job path. The
+// chaos harness (internal/chaos) installs one that cuts power at a
+// chosen (point, occurrence) pair; production managers leave it nil
+// and pay a nil check per durability event — no build tags. The hook
+// runs on whatever goroutine hits the point (solver loop, writer
+// goroutine, recovery), so implementations must be safe for concurrent
+// use.
+type ChaosHook func(point, jobID string)
+
+// Named crash points a ChaosHook can observe.
+const (
+	// ChaosJournalAppend fires immediately before a lifecycle or spec
+	// record is journaled (Submit's spec+state pair, every persistState).
+	ChaosJournalAppend = "journal.append"
+	// ChaosCheckpointSwap fires in the solver loop as a gathered
+	// checkpoint state is handed to the async writer (ckptWriter.Deliver).
+	ChaosCheckpointSwap = "ckpt.swap"
+	// ChaosCheckpointWrite fires on the writer goroutine immediately
+	// before the encoded checkpoint is persisted.
+	ChaosCheckpointWrite = "ckpt.write"
+	// ChaosRecoveryReplay fires once per journaled job as boot-time
+	// recovery replays it — a crash *during* recovery must itself be
+	// recoverable.
+	ChaosRecoveryReplay = "recovery.replay"
+)
+
 // Errors the HTTP layer maps onto status codes.
 var (
 	ErrQueueFull  = fmt.Errorf("service: submission queue full")
@@ -353,6 +379,10 @@ type Options struct {
 	// EventRing sizes each job's flight-recorder ring (default
 	// obs.DefaultRingSize).
 	EventRing int
+	// ChaosHook, when set, observes the named crash points on the
+	// durable-job path (see the ChaosHook type). Test-only; nil in
+	// production.
+	ChaosHook ChaosHook
 }
 
 // Manager owns the bounded submission queue, the concurrency slots the
@@ -366,6 +396,8 @@ type Manager struct {
 	// is the default checkpoint cadence for specs that don't set one.
 	store     *store.Store
 	ckptEvery int
+	// chaos observes named crash points (nil in production).
+	chaos ChaosHook
 	// solverThreads is the daemon default for specs with threads: 0.
 	solverThreads int
 	queue         chan *Job
@@ -445,6 +477,7 @@ func NewManagerOpts(o Options) *Manager {
 		ringSz:        o.EventRing,
 		store:         o.Store,
 		ckptEvery:     o.CheckpointEvery,
+		chaos:         o.ChaosHook,
 		solverThreads: o.SolverThreads,
 		slots:         make(chan struct{}, o.Workers),
 		cache:         NewFrameCache(o.Metrics, o.CacheEntries),
@@ -492,6 +525,7 @@ func (m *Manager) recoverFromStore() []*Job {
 	}
 	var pending []*Job
 	for _, id := range ids {
+		m.chaosPoint(ChaosRecoveryReplay, id)
 		// Keep new submissions' IDs above everything ever journaled.
 		if n, ok := jobIDNumber(id); ok && n > m.nextID {
 			m.nextID = n
@@ -574,6 +608,13 @@ func (m *Manager) recoverFromStore() []*Job {
 	return pending
 }
 
+// chaosPoint fires the chaos hook (nil-safe).
+func (m *Manager) chaosPoint(point, jobID string) {
+	if m.chaos != nil {
+		m.chaos(point, jobID)
+	}
+}
+
 // jobIDNumber extracts the numeric suffix of a "job-NNNN" ID.
 func jobIDNumber(id string) (int64, bool) {
 	rest, ok := strings.CutPrefix(id, "job-")
@@ -625,6 +666,7 @@ func (m *Manager) persistState(j *Job) {
 	if skip {
 		return
 	}
+	m.chaosPoint(ChaosJournalAppend, j.ID)
 	if err := m.store.PutState(j.ID, rec); err != nil {
 		m.metrics.StoreErrors.Add(1)
 		j.log.Warn("journaling state failed", "state", rec.State, "err", err)
@@ -715,6 +757,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	// Journal before accepting: once Submit returns 201, the job must
 	// survive a crash, so a spec that cannot be journaled is rejected.
 	if m.store != nil {
+		m.chaosPoint(ChaosJournalAppend, j.ID)
 		err := m.store.PutSpec(j.ID, j.Spec)
 		if err == nil {
 			err = m.store.PutState(j.ID, j.recordLocked())
@@ -910,7 +953,7 @@ func (m *Manager) run(j *Job) {
 	var writer *ckptWriter
 	if every := m.checkpointCadence(j.Spec); every > 0 {
 		cfg.CheckpointEvery = every
-		writer = newCkptWriter(m.store, j.ID, m.metrics, j.rec, j.log)
+		writer = newCkptWriter(m.store, j.ID, m.metrics, j.rec, j.log, m.chaos)
 		cfg.Checkpoint = writer
 	}
 	// A recovered job resumes from its journaled checkpoint, re-read

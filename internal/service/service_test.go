@@ -13,12 +13,30 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/leaktest"
 	"repro/internal/octree"
 )
 
-// startServer boots a full service stack on a loopback port.
+// goroutineBaseline snapshots the running goroutines and returns a
+// check that fails the test if anything started afterwards is still
+// alive once everything is shut down — the no-leak assertion every e2e
+// test requires. The heavy lifting (goroutine-ID diff, retry window)
+// lives in internal/leaktest; this wrapper adds the one service-suite
+// settle hook: closing the default client's idle keep-alive
+// connections, whose persistConn goroutines otherwise linger for the
+// 90s idle timeout and read as leaks.
+func goroutineBaseline(t *testing.T) func() {
+	t.Helper()
+	return leaktest.Check(t, http.DefaultClient.CloseIdleConnections)
+}
+
+// startServer boots a full service stack on a loopback port. Every
+// caller gets a leak check for free: it is registered before the
+// shutdown cleanup, so cleanup LIFO order runs it after the server is
+// down.
 func startServer(t *testing.T, workers, queueCap int) (*Server, string) {
 	t.Helper()
+	t.Cleanup(goroutineBaseline(t))
 	mgr := NewManager(workers, queueCap, nil)
 	srv := NewServer(mgr)
 	if err := srv.Start("127.0.0.1:0"); err != nil {

@@ -8,6 +8,7 @@ package service
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/core"
@@ -100,6 +101,21 @@ func (sp JobSpec) SnapshotsEnabled() bool { return sp.SnapshotEvery > 0 }
 // grows as (scale/h)³, so an unbounded spec is a one-request OOM for
 // every tenant.
 func (sp JobSpec) Validate() error {
+	// Non-finite floats sail through range checks (NaN compares false
+	// against every bound), so reject them first. JSON cannot encode
+	// them, but programmatic submitters (benchmarks, the chaos driver)
+	// call Validate directly.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"scale", sp.Scale}, {"h", sp.H}, {"tau", sp.Tau},
+		{"pulse_amp", sp.PulseAmp}, {"pulse_period", sp.PulsePeriod},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("service: %s must be finite, got %g", f.name, f.v)
+		}
+	}
 	if _, err := vesselByPreset(sp.Preset, max(sp.Scale, 1)); err != nil {
 		return err
 	}

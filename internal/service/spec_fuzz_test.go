@@ -1,0 +1,84 @@
+package service
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestValidateRejectsNonFiniteFloats pins the finiteness fix: NaN
+// compares false against every range bound, so NaN scale/tau/h used to
+// pass Validate and reach the solver. JSON cannot carry NaN, but
+// programmatic submitters call Validate directly.
+func TestValidateRejectsNonFiniteFloats(t *testing.T) {
+	base := JobSpec{Preset: "pipe", Steps: 10}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base spec invalid: %v", err)
+	}
+	for name, mutate := range map[string]func(*JobSpec){
+		"scale-nan":        func(s *JobSpec) { s.Scale = math.NaN() },
+		"scale-inf":        func(s *JobSpec) { s.Scale = math.Inf(1) },
+		"h-nan":            func(s *JobSpec) { s.H = math.NaN() },
+		"tau-nan":          func(s *JobSpec) { s.Tau = math.NaN() },
+		"tau-neg-inf":      func(s *JobSpec) { s.Tau = math.Inf(-1) },
+		"pulse-amp-nan":    func(s *JobSpec) { s.PulseAmp = math.NaN() },
+		"pulse-period-inf": func(s *JobSpec) { s.PulsePeriod = math.Inf(1) },
+	} {
+		sp := base
+		mutate(&sp)
+		if err := sp.Validate(); err == nil {
+			t.Errorf("%s: non-finite spec passed Validate", name)
+		} else if !strings.Contains(err.Error(), "finite") {
+			t.Errorf("%s: wrong rejection: %v", name, err)
+		}
+	}
+}
+
+// FuzzSpecJSON drives the submission path with arbitrary JSON bodies:
+// decode must never panic, an accepted spec must survive defaulting
+// and solver-config assembly, and accepted specs must round-trip
+// through their canonical JSON form and still be accepted.
+func FuzzSpecJSON(f *testing.F) {
+	f.Add([]byte(`{"preset":"pipe","steps":64}`))
+	f.Add([]byte(`{"preset":"bend","steps":1,"scale":2,"h":0.5,"tau":0.9,"ranks":4,"threads":2}`))
+	f.Add([]byte(`{"preset":"stenosis","steps":100,"viz_every":-1,"snapshot_every":-1,"checkpoint_every":-1}`))
+	f.Add([]byte(`{"preset":"pipe","steps":9e99}`))
+	f.Add([]byte(`{"preset":"pipe","steps":64,"scale":1e308}`))
+	f.Add([]byte(`{"preset":"","steps":0}`))
+	f.Add([]byte(`{"preset":"pipe","steps":64,"pulse_amp":-1e308,"pulse_period":1e-308}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sp JobSpec
+		if err := json.Unmarshal(data, &sp); err != nil {
+			return
+		}
+		err := sp.Validate()
+		if err != nil {
+			return
+		}
+		// Accepted: the rest of the submission path must hold.
+		def := sp.withDefaults()
+		if def.withDefaults() != def {
+			t.Fatalf("withDefaults not idempotent: %+v", def)
+		}
+		if _, err := def.coreConfig(); err != nil {
+			t.Fatalf("validated spec rejected by coreConfig: %v", err)
+		}
+		// Canonical round trip: marshal and re-accept.
+		out, err := json.Marshal(def)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		var back JobSpec
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("canonical form does not parse: %v", err)
+		}
+		if back != def {
+			t.Fatalf("round trip changed the spec: %+v vs %+v", back, def)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("round-tripped spec rejected: %v", err)
+		}
+	})
+}

@@ -26,12 +26,12 @@ import (
 	"fmt"
 	"hash/crc64"
 	"log/slog"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/lb"
 	"repro/internal/obs"
 )
@@ -71,6 +71,10 @@ type JobRecord struct {
 // different jobs never contend beyond a short mutex hold.
 type Store struct {
 	root string
+	// fs is the filesystem seam every operation routes through: the os
+	// package in production, a crash-modeling fault injector in the
+	// chaos suite (see internal/faultfs).
+	fs faultfs.FS
 	// log receives write-failure warnings (callers also get the error;
 	// the log entry survives paths that swallow it). Never nil.
 	log *slog.Logger
@@ -83,22 +87,47 @@ type Store struct {
 	syncedDirs map[string]bool
 }
 
-// Open creates (if needed) and returns a store rooted at dir. Orphan
-// temp files a crash left mid-write are swept here — they are the one
-// kind of remnant atomic renames cannot clean up by construction.
+// Open creates (if needed) and returns a store rooted at dir on the
+// real filesystem.
 func Open(dir string) (*Store, error) {
+	return OpenFS(faultfs.OS{}, dir)
+}
+
+// OpenFS creates (if needed) and returns a store rooted at dir on fsys
+// — the injection point the fault-injection harness uses; production
+// callers use Open. Orphan temp files a crash left mid-write are swept
+// here — they are the one kind of remnant atomic renames cannot clean
+// up by construction.
+func OpenFS(fsys faultfs.FS, dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty root directory")
 	}
-	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	if stale, err := filepath.Glob(filepath.Join(dir, "jobs", "*", "*.tmp-*")); err == nil {
-		for _, path := range stale {
-			os.Remove(path)
+	s := &Store{root: dir, fs: fsys, log: obs.NopLogger(), syncedDirs: make(map[string]bool)}
+	s.sweepTemps("*")
+	return s, nil
+}
+
+// sweepTemps removes orphaned temp files under jobs/<id> ("*" sweeps
+// every job). Boot-time recovery calls it for crash leftovers; failed
+// checkpoint writes call it too, so a rename that failed mid-flight
+// (and whose cleanup also failed) cannot strand a .tmp until the next
+// restart.
+func (s *Store) sweepTemps(id string) {
+	stale, err := s.fs.Glob(filepath.Join(s.root, "jobs", id, "*.tmp-*"))
+	if err != nil {
+		return
+	}
+	for _, path := range stale {
+		if err := s.fs.Remove(path); err == nil {
+			s.log.Warn("swept orphan temp file", "path", path)
 		}
 	}
-	return &Store{root: dir, log: obs.NopLogger(), syncedDirs: make(map[string]bool)}, nil
 }
 
 // SetLogger routes the store's warnings to log (nil restores the
@@ -129,7 +158,7 @@ func (s *Store) jobDir(id string) string {
 
 // Jobs lists the IDs present in the store, sorted.
 func (s *Store) Jobs() ([]string, error) {
-	entries, err := os.ReadDir(filepath.Join(s.root, "jobs"))
+	entries, err := s.fs.ReadDir(filepath.Join(s.root, "jobs"))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -188,8 +217,17 @@ func (s *Store) State(id string) (JobRecord, error) {
 // never depends on having the *newest* checkpoint, only *a* verified
 // one. Lifecycle records (putJSON) keep full durability: a forgotten
 // terminal record would resurrect a job the user was told is gone.
+//
+// A failed write sweeps the job's temp files before returning: when
+// the failure struck between creating the temp and renaming it (and
+// the in-line cleanup failed too), the orphan must not linger until
+// the next boot-time sweep.
 func (s *Store) PutCheckpoint(id string, data []byte) error {
-	return s.atomicWrite(id, checkpointFile, data, false)
+	err := s.atomicWrite(id, checkpointFile, data, false)
+	if err != nil {
+		s.sweepTemps(id)
+	}
+	return err
 }
 
 // Checkpoint loads and fully verifies the job's latest checkpoint,
@@ -197,7 +235,7 @@ func (s *Store) PutCheckpoint(id string, data []byte) error {
 // truncated or corrupt file is an error — the caller falls back to a
 // fresh start from step 0.
 func (s *Store) Checkpoint(id string) ([]byte, int, error) {
-	data, err := os.ReadFile(filepath.Join(s.jobDir(id), checkpointFile))
+	data, err := s.fs.ReadFile(filepath.Join(s.jobDir(id), checkpointFile))
 	if err != nil {
 		return nil, 0, fmt.Errorf("store: %w", err)
 	}
@@ -213,7 +251,7 @@ func (s *Store) Checkpoint(id string) ([]byte, int, error) {
 // dispatch-time form of Checkpoint — the caller wants the installed
 // state, not the bytes, and resume then costs one full parse, not two.
 func (s *Store) CheckpointState(id string) (*lb.CheckpointState, error) {
-	data, err := os.ReadFile(filepath.Join(s.jobDir(id), checkpointFile))
+	data, err := s.fs.ReadFile(filepath.Join(s.jobDir(id), checkpointFile))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -234,13 +272,13 @@ func (s *Store) Remove(id string) error {
 	if frozen {
 		return nil
 	}
-	if err := os.RemoveAll(s.jobDir(id)); err != nil {
+	if err := s.fs.RemoveAll(s.jobDir(id)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.mu.Lock()
 	delete(s.syncedDirs, id)
 	s.mu.Unlock()
-	return syncDir(filepath.Join(s.root, "jobs"))
+	return s.syncDir(filepath.Join(s.root, "jobs"))
 }
 
 // putJSON appends the CRC trailer and writes atomically with full
@@ -252,7 +290,7 @@ func (s *Store) putJSON(id, name string, payload []byte) error {
 
 // getJSON reads a JSON file, verifies and strips the CRC trailer.
 func (s *Store) getJSON(id, name string) ([]byte, error) {
-	data, err := os.ReadFile(filepath.Join(s.jobDir(id), name))
+	data, err := s.fs.ReadFile(filepath.Join(s.jobDir(id), name))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -294,14 +332,14 @@ func (s *Store) atomicWriteFile(id, name string, data []byte, syncEntries bool) 
 		return nil
 	}
 	dir := s.jobDir(id)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	tmp, err := s.fs.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer s.fs.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: %w", err)
@@ -313,7 +351,7 @@ func (s *Store) atomicWriteFile(id, name string, data []byte, syncEntries bool) 
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+	if err := s.fs.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	if !syncEntries {
@@ -323,7 +361,7 @@ func (s *Store) atomicWriteFile(id, name string, data []byte, syncEntries bool) 
 	// lives in the directory entries: without syncing them a power
 	// loss can forget a journaled file whose data blocks were safely
 	// on disk. The parent sync is needed once per job directory.
-	if err := syncDir(dir); err != nil {
+	if err := s.syncDir(dir); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -333,17 +371,12 @@ func (s *Store) atomicWriteFile(id, name string, data []byte, syncEntries bool) 
 	if !first {
 		return nil
 	}
-	return syncDir(filepath.Dir(dir))
+	return s.syncDir(filepath.Dir(dir))
 }
 
 // syncDir fsyncs a directory's entries.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+func (s *Store) syncDir(dir string) error {
+	if err := s.fs.SyncDir(dir); err != nil {
 		return fmt.Errorf("store: sync %s: %w", dir, err)
 	}
 	return nil

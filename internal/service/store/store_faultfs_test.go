@@ -1,0 +1,179 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+// openMem opens a store on a fresh fault-injecting filesystem.
+func openMem(t *testing.T, seed int64) (*Store, *faultfs.Mem) {
+	t.Helper()
+	m := faultfs.NewMem(seed)
+	s, err := OpenFS(m, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, m
+}
+
+func TestStoreOnMemRoundTrip(t *testing.T) {
+	s, m := openMem(t, 1)
+	if err := s.PutSpec("j", map[string]any{"preset": "pipe"}); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := checkpointBytes(t)
+	if err := s.PutCheckpoint("j", ckpt); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint rename deliberately skips the directory-entry sync;
+	// the following full-durability state write syncs the directory and
+	// makes the checkpoint's entry durable along the way (in production
+	// the manager journals lifecycle records around every checkpoint).
+	if err := s.PutState("j", JobRecord{ID: "j", State: "running"}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash and reopen: everything must survive.
+	m.PowerCycle()
+	s2, err := OpenFS(m, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s2.State("j")
+	if err != nil || rec.State != "running" {
+		t.Fatalf("state after crash: (%+v, %v)", rec, err)
+	}
+	got, step, err := s2.Checkpoint("j")
+	if err != nil || step != 17 || !bytes.Equal(got, ckpt) {
+		t.Fatalf("checkpoint after crash: step=%d err=%v", step, err)
+	}
+	ids, err := s2.Jobs()
+	if err != nil || len(ids) != 1 || ids[0] != "j" {
+		t.Fatalf("Jobs after crash = (%v, %v)", ids, err)
+	}
+}
+
+// opDelta measures the counted-op cost of one call of fn in steady
+// state (directories exist, parent already synced).
+func opDelta(m *faultfs.Mem, fn func()) int64 {
+	before := m.Ops()
+	fn()
+	return m.Ops() - before
+}
+
+// findOp returns the 1-based op index (relative to base) of the first
+// op in log[base:] whose description starts with prefix.
+func findOp(t *testing.T, log []string, base int64, prefix string) int64 {
+	t.Helper()
+	for i := base; i < int64(len(log)); i++ {
+		if strings.HasPrefix(log[i], prefix) {
+			return i - base + 1
+		}
+	}
+	t.Fatalf("no op with prefix %q after op %d in %q", prefix, base, log[base:])
+	return 0
+}
+
+// TestFailedCheckpointWriteSweepsTemps pins the fix for the orphan-temp
+// gap: the boot-time sweep was the only one, so a rename failure whose
+// in-line temp cleanup also failed stranded a .tmp-* until the next
+// restart. PutCheckpoint now sweeps the job's temps on any failed
+// write.
+func TestFailedCheckpointWriteSweepsTemps(t *testing.T) {
+	s, m := openMem(t, 2)
+	if err := s.PutCheckpoint("j", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	base := m.Ops()
+	if err := s.PutCheckpoint("j", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	log := m.OpLog()
+	renameAt := findOp(t, log, base, "rename ")
+	base = m.Ops()
+	// Fail the rename, and the deferred temp-file cleanup right after
+	// it: without the post-failure sweep this stranded the temp.
+	m.Inject(
+		faultfs.Fault{Op: base + renameAt, Kind: faultfs.FaultErr},
+		faultfs.Fault{Op: base + renameAt + 1, Kind: faultfs.FaultErr},
+	)
+	if err := s.PutCheckpoint("j", []byte("v3")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("faulted PutCheckpoint: %v, want ErrInjected", err)
+	}
+	if fired := m.Fired(); len(fired) != 2 {
+		t.Fatalf("faults fired: %q, want rename + cleanup", fired)
+	}
+	stale, err := m.Glob(filepath.Join("data", "jobs", "j", "*.tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 0 {
+		t.Fatalf("orphan temps survived a failed checkpoint write: %q", stale)
+	}
+	// The failed write must not have damaged the previous checkpoint.
+	if data, err := m.ReadFile(filepath.Join("data", "jobs", "j", "checkpoint.bin")); err != nil || string(data) != "v2" {
+		t.Fatalf("previous checkpoint after failed write: (%q, %v)", data, err)
+	}
+}
+
+// TestPutStateCrashSweep cuts power at every individual I/O op of one
+// PutState and asserts the recovered record is always the old one or
+// the new one, never torn — the journal-ordering invariant the chaos
+// suite checks end-to-end, pinned here at the store layer.
+func TestPutStateCrashSweep(t *testing.T) {
+	// Measure the steady-state op cost of one PutState.
+	s, m := openMem(t, 3)
+	if err := s.PutState("j", JobRecord{ID: "j", State: "v0"}); err != nil {
+		t.Fatal(err)
+	}
+	delta := opDelta(m, func() {
+		if err := s.PutState("j", JobRecord{ID: "j", State: "v1"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if delta < 5 { // mkdir, create, write, sync, rename at minimum
+		t.Fatalf("opDelta = %d, suspiciously small", delta)
+	}
+	for k := int64(1); k <= delta; k++ {
+		s, m := openMem(t, 100+k)
+		if err := s.PutState("j", JobRecord{ID: "j", State: "v0"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutState("j", JobRecord{ID: "j", State: "v1"}); err != nil {
+			t.Fatal(err)
+		}
+		m.Inject(faultfs.Fault{Op: m.Ops() + k, Kind: faultfs.FaultCrash})
+		// A nil error is possible when the crash lands on the deferred
+		// temp cleanup: the write was already fully durable by then.
+		putErr := s.PutState("j", JobRecord{ID: "j", State: "v2"})
+		if putErr != nil && !errors.Is(putErr, faultfs.ErrCrashed) {
+			t.Fatalf("crash at +%d: PutState err = %v, want ErrCrashed or nil", k, putErr)
+		}
+		m.PowerCycle()
+		s2, err := OpenFS(m, "data")
+		if err != nil {
+			t.Fatalf("crash at +%d: reopen: %v", k, err)
+		}
+		rec, err := s2.State("j")
+		if err != nil {
+			t.Fatalf("crash at +%d: recovered state unreadable: %v", k, err)
+		}
+		if rec.State != "v1" && rec.State != "v2" {
+			t.Fatalf("crash at +%d: recovered state %q, want v1 or v2", k, rec.State)
+		}
+		if putErr == nil && rec.State != "v2" {
+			t.Fatalf("crash at +%d: PutState reported success but recovered %q", k, rec.State)
+		}
+		stale, err := m.Glob(filepath.Join("data", "jobs", "*", "*.tmp-*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(stale) != 0 {
+			t.Fatalf("crash at +%d: orphan temps survived reopen: %q", k, stale)
+		}
+	}
+}
