@@ -9,42 +9,63 @@ import (
 )
 
 // compareSpec names, for one report section, the fields identifying a
-// row and the headline metric to delta. Sections absent from either
-// file are skipped, so partial runs (-pre=false etc.) compare cleanly.
+// row and the headline metric to delta. lowerBetter flips the
+// regression direction: wall times and byte counts regress upward,
+// throughputs regress downward. Sections absent from either file are
+// skipped, so partial runs (-pre=false etc.) compare cleanly.
 type compareSpec struct {
-	section string
-	keys    []string
-	metric  string
+	section     string
+	keys        []string
+	metric      string
+	lowerBetter bool
 }
 
 // compareSpecs covers every section scalebench emits; the metric is
 // the one each sweep exists to move.
 var compareSpecs = []compareSpec{
-	{"strong", []string{"ranks"}, "sites_per_sec"},
-	{"weak", []string{"ranks"}, "sites_per_sec"},
-	{"gmy_read", []string{"readers"}, "wall_ns"},
-	{"partitioners", []string{"method"}, "wall_ns"},
-	{"repartition", []string{"alpha"}, "imbalance_after"},
-	{"multires", []string{"label"}, "bytes"},
-	{"stream", []string{"subscribers"}, "steps_per_sec"},
-	{"jobs", []string{"persist", "jobs"}, "jobs_per_sec"},
-	{"threads", []string{"threads"}, "steps_per_sec"},
+	{"strong", []string{"ranks"}, "sites_per_sec", false},
+	{"weak", []string{"ranks"}, "sites_per_sec", false},
+	{"gmy_read", []string{"readers"}, "wall_ns", true},
+	{"partitioners", []string{"method"}, "wall_ns", true},
+	{"repartition", []string{"alpha"}, "imbalance_after", true},
+	{"multires", []string{"label"}, "bytes", true},
+	{"stream", []string{"subscribers"}, "steps_per_sec", false},
+	{"jobs", []string{"persist", "jobs"}, "jobs_per_sec", false},
+	{"threads", []string{"threads"}, "steps_per_sec", false},
+	{"ckpt", []string{"full_every", "dirty_max"}, "jobs_per_sec", false},
+	{"submit", []string{"concurrency"}, "submits_per_sec", false},
 }
 
 // compareReports prints per-benchmark deltas between two -json result
 // files — the trajectory check the BENCH_*.json series exists for.
-func compareReports(oldPath, newPath string, w io.Writer) error {
+// When gate names a section ("section" for its headline metric,
+// "section:metric" for another one), every gated row whose metric
+// moved more than threshold percent in the bad direction is returned
+// as a violation; the caller turns a non-empty list into a non-zero
+// exit.
+func compareReports(oldPath, newPath string, w io.Writer, gate string, threshold float64) ([]string, error) {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newRep, err := loadReport(newPath)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	gateSection, gateMetric, gated := parseGate(gate)
+	if gated && !knownSection(gateSection) {
+		return nil, fmt.Errorf("scalebench: -gate %q: unknown section", gateSection)
 	}
 	printMeta(w, "old", oldRep)
 	printMeta(w, "new", newRep)
+	var violations []string
+	gateMatched := false
 	for _, spec := range compareSpecs {
+		metric := spec.metric
+		isGated := gated && spec.section == gateSection
+		if isGated && gateMetric != "" {
+			metric = gateMetric
+		}
 		oldRows, okO := sectionRows(oldRep, spec.section)
 		newRows, okN := sectionRows(newRep, spec.section)
 		if !okO || !okN {
@@ -61,23 +82,70 @@ func compareReports(oldPath, newPath string, w io.Writer) error {
 			if !ok {
 				continue
 			}
-			ov, okO := rowMetric(or, spec.metric)
-			nv, okN := rowMetric(nr, spec.metric)
+			ov, okO := rowMetric(or, metric)
+			nv, okN := rowMetric(nr, metric)
 			if !okO || !okN {
 				continue
 			}
 			if !header {
-				fmt.Fprintf(w, "== %s (%s) ==\n", spec.section, spec.metric)
+				fmt.Fprintf(w, "== %s (%s) ==\n", spec.section, metric)
 				header = true
 			}
 			delta := "n/a"
 			if ov != 0 {
-				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+				pct := (nv - ov) / ov * 100
+				delta = fmt.Sprintf("%+.1f%%", pct)
+				if isGated {
+					gateMatched = true
+					bad := pct
+					if metricLowerBetter(spec, metric) {
+						bad = -pct
+					}
+					if -bad > threshold {
+						violations = append(violations,
+							fmt.Sprintf("%s %s %s: %.6g -> %.6g (%s, limit %.1f%%)",
+								spec.section, key, metric, ov, nv, delta, threshold))
+					}
+				}
 			}
 			fmt.Fprintf(w, "%-24s  %14.6g  ->  %14.6g  %s\n", key, ov, nv, delta)
 		}
 	}
-	return nil
+	if gated && !gateMatched {
+		return nil, fmt.Errorf("scalebench: -gate %q matched no comparable rows", gate)
+	}
+	return violations, nil
+}
+
+// parseGate splits "section" / "section:metric".
+func parseGate(gate string) (section, metric string, ok bool) {
+	if gate == "" {
+		return "", "", false
+	}
+	if at := strings.IndexByte(gate, ':'); at >= 0 {
+		return gate[:at], gate[at+1:], true
+	}
+	return gate, "", true
+}
+
+func knownSection(section string) bool {
+	for _, spec := range compareSpecs {
+		if spec.section == section {
+			return true
+		}
+	}
+	return false
+}
+
+// metricLowerBetter: the spec's headline direction covers its own
+// metric; an explicitly gated alternate metric falls back on the
+// naming convention (times and sizes go down, rates go up).
+func metricLowerBetter(spec compareSpec, metric string) bool {
+	if metric == spec.metric {
+		return spec.lowerBetter
+	}
+	return strings.HasSuffix(metric, "_ns") || strings.HasSuffix(metric, "bytes") ||
+		strings.Contains(metric, "imbalance")
 }
 
 // printMeta shows one report's run-environment stamp. Reports from

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, name string, rep map[string]any) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func jobsReport(t *testing.T, name string, jobsPerSec, wallNs float64) string {
+	return writeReport(t, name, map[string]any{
+		"jobs": []map[string]any{
+			{"persist": true, "jobs": 16, "jobs_per_sec": jobsPerSec, "wall_ns": wallNs},
+		},
+	})
+}
+
+func TestCompareGatePassesWithinThreshold(t *testing.T) {
+	oldPath := jobsReport(t, "old.json", 100, 1e9)
+	newPath := jobsReport(t, "new.json", 95, 1.05e9) // -5%, inside the 10% budget
+	var out strings.Builder
+	violations, err := compareReports(oldPath, newPath, &out, "jobs", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("gate flagged a within-threshold change: %v", violations)
+	}
+	if !strings.Contains(out.String(), "jobs_per_sec") {
+		t.Fatalf("comparison table missing gated metric:\n%s", out.String())
+	}
+}
+
+func TestCompareGateFlagsRegression(t *testing.T) {
+	oldPath := jobsReport(t, "old.json", 100, 1e9)
+	newPath := jobsReport(t, "new.json", 80, 1e9) // -20% throughput
+	violations, err := compareReports(oldPath, newPath, &strings.Builder{}, "jobs", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 {
+		t.Fatalf("want 1 violation, got %v", violations)
+	}
+	if !strings.Contains(violations[0], "jobs_per_sec") {
+		t.Fatalf("violation does not name the metric: %s", violations[0])
+	}
+}
+
+func TestCompareGateIgnoresImprovement(t *testing.T) {
+	oldPath := jobsReport(t, "old.json", 100, 1e9)
+	newPath := jobsReport(t, "new.json", 150, 1e9) // +50% is not a regression
+	violations, err := compareReports(oldPath, newPath, &strings.Builder{}, "jobs", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("gate flagged an improvement: %v", violations)
+	}
+}
+
+func TestCompareGateLowerBetterMetric(t *testing.T) {
+	oldPath := jobsReport(t, "old.json", 100, 1e9)
+	newPath := jobsReport(t, "new.json", 100, 1.5e9) // wall +50% regresses upward
+	violations, err := compareReports(oldPath, newPath, &strings.Builder{}, "jobs:wall_ns", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 {
+		t.Fatalf("want 1 violation on wall_ns growth, got %v", violations)
+	}
+}
+
+func TestCompareGateUnknownSection(t *testing.T) {
+	oldPath := jobsReport(t, "old.json", 100, 1e9)
+	if _, err := compareReports(oldPath, oldPath, &strings.Builder{}, "nope", 10); err == nil {
+		t.Fatal("unknown gate section accepted")
+	}
+}
+
+func TestCompareGateNoComparableRows(t *testing.T) {
+	oldPath := jobsReport(t, "old.json", 100, 1e9)
+	// The gated section exists in neither file: the gate must fail loudly
+	// instead of silently passing an empty comparison.
+	if _, err := compareReports(oldPath, oldPath, &strings.Builder{}, "ckpt", 10); err == nil {
+		t.Fatal("gate with no comparable rows passed silently")
+	}
+}
+
+func TestCompareNoGateReportsNothing(t *testing.T) {
+	oldPath := jobsReport(t, "old.json", 100, 1e9)
+	newPath := jobsReport(t, "new.json", 10, 1e9) // huge regression, but ungated
+	violations, err := compareReports(oldPath, newPath, &strings.Builder{}, "", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("ungated compare produced violations: %v", violations)
+	}
+}

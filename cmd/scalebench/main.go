@@ -89,6 +89,28 @@ type jsonJobs struct {
 	Checkpoints int64   `json:"checkpoints_written"`
 }
 
+type jsonCkpt struct {
+	FullEvery   int     `json:"full_every"`
+	DirtyMax    float64 `json:"dirty_max"`
+	Jobs        int     `json:"jobs"`
+	StepsPerJob int     `json:"steps_per_job"`
+	WallNs      int64   `json:"wall_ns"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	Checkpoints int64   `json:"checkpoints_written"`
+	Deltas      int64   `json:"deltas_written"`
+	CkptBytes   int64   `json:"checkpoint_bytes"`
+	DeltaBytes  int64   `json:"delta_bytes"`
+}
+
+type jsonSubmit struct {
+	Concurrency   int     `json:"concurrency"`
+	Jobs          int     `json:"jobs"`
+	WallNs        int64   `json:"wall_ns"`
+	SubmitsPerSec float64 `json:"submits_per_sec"`
+	GroupCommits  int64   `json:"group_commits"`
+	MeanBatch     float64 `json:"mean_batch"`
+}
+
 type jsonThreads struct {
 	Threads     int     `json:"threads"`
 	Sites       int     `json:"sites"`
@@ -137,8 +159,14 @@ func main() {
 	jobsBatches := flag.String("jobs-batches", "", "comma-separated batch sizes for the jobs sweep (empty = 4,16,64; small values make a CI-sized smoke run)")
 	threadsFlag := flag.String("threads", "", "comma-separated solver worker counts for the intra-rank tiling sweep (empty = skip; e.g. 1,2,4)")
 	threadSteps := flag.Int("thread-steps", 100, "solver steps per tiling-sweep point")
+	ckpt := flag.Bool("ckpt", false, "also run the checkpoint delta-policy grid and the submit-concurrency ladder")
+	ckptJobs := flag.Int("ckpt-jobs", 0, "jobs per checkpoint-grid point (0 = 12; small values make a CI-sized smoke run)")
+	submitConc := flag.String("submit-concurrency", "", "comma-separated client counts for the submit ladder (empty = 1,2,4,8,16)")
+	submitJobs := flag.Int("submit-jobs", 0, "submissions per submit-ladder rung (0 = 64)")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file (\"-\" = stdout)")
 	compare := flag.Bool("compare", false, "compare two -json result files: scalebench -compare old.json new.json")
+	gate := flag.String("gate", "", "with -compare: fail (exit 1) when this section regresses past -gate-threshold; \"section\" gates the section's headline metric, \"section:metric\" a specific one")
+	gateThreshold := flag.Float64("gate-threshold", 10, "with -gate: tolerated regression in percent")
 	chaosMode := flag.Bool("chaos", false, "run the crash-consistency chaos soak instead of the scaling benches")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos soak: first fault-injection seed")
 	chaosSeeds := flag.Int("chaos-seeds", 1, "chaos soak: number of consecutive seeds to sweep")
@@ -157,8 +185,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "scalebench: -compare wants exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		if err := compareReports(flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
+		violations, err := compareReports(flag.Arg(0), flag.Arg(1), os.Stdout, *gate, *gateThreshold)
+		if err != nil {
 			fail(err)
+		}
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "scalebench: regression:", v)
+			}
+			os.Exit(1)
 		}
 		return
 	}
@@ -333,6 +368,48 @@ func main() {
 				r.Wall.Nanoseconds(), r.JobsPerSec, r.Checkpoints})
 		}
 		report["jobs"] = jj
+	}
+
+	if *ckpt {
+		fmt.Println()
+		fmt.Println("== service: checkpoint delta policy (full-every-K x dirty-ratio cap) ==")
+		crows, err := experiments.CkptSweep(nil, nil, *ckptJobs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatCkpt(crows))
+		cj := make([]jsonCkpt, 0, len(crows))
+		for _, r := range crows {
+			cj = append(cj, jsonCkpt{r.FullEvery, r.DirtyMax, r.Jobs, r.StepsPerJob,
+				r.Wall.Nanoseconds(), r.JobsPerSec, r.Checkpoints, r.Deltas,
+				r.CkptBytes, r.DeltaBytes})
+		}
+		report["ckpt"] = cj
+
+		var concs []int
+		if *submitConc != "" {
+			for _, s := range strings.Split(*submitConc, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || v < 1 {
+					fmt.Fprintln(os.Stderr, "scalebench: bad submit concurrency:", s)
+					os.Exit(2)
+				}
+				concs = append(concs, v)
+			}
+		}
+		fmt.Println()
+		fmt.Println("== service: durable submit ladder (journal group commit) ==")
+		urows, err := experiments.SubmitSweep(concs, *submitJobs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatSubmit(urows))
+		uj := make([]jsonSubmit, 0, len(urows))
+		for _, r := range urows {
+			uj = append(uj, jsonSubmit{r.Concurrency, r.Jobs, r.Wall.Nanoseconds(),
+				r.SubmitsPerSec, r.GroupCommits, r.MeanBatch})
+		}
+		report["submit"] = uj
 	}
 
 	if *jsonOut != "" {

@@ -67,7 +67,26 @@ const (
 	storeRoot = "data"
 	pauseAt   = 48 // scenario pauses/resumes once the job passes this step
 	waitLimit = 120 * time.Second
+	// chainFullEvery makes every other checkpoint write a full one, so
+	// each scenario exercises the whole delta-chain lifecycle — base,
+	// delta record, compaction — and the op sweep lands power cuts
+	// inside delta writes and chain drops, not only full replaces.
+	chainFullEvery = 2
 )
+
+// managerOptions is the shared manager configuration of every chaos
+// run: reference, fault cases and recovery boots must persist (and
+// therefore re-read) checkpoints identically.
+func managerOptions(st *store.Store, metrics *service.Metrics) service.Options {
+	return service.Options{
+		Workers: 1, QueueCap: 4, Store: st, Metrics: metrics,
+		CheckpointFullEvery: chainFullEvery,
+		// The write-budget governor is off: chaos scenarios count on
+		// every cadence write landing so the op sweep's crash points
+		// stay deterministic.
+		CheckpointBudget: -1,
+	}
+}
 
 func (c *Config) defaults() {
 	if c.Kind == faultfs.FaultNone {
@@ -186,7 +205,7 @@ func (c Config) referenceOnce() (*reference, error) {
 		return nil, err
 	}
 	metrics := &service.Metrics{}
-	mgr := service.NewManagerOpts(service.Options{Workers: 1, QueueCap: 4, Store: st, Metrics: metrics})
+	mgr := service.NewManagerOpts(managerOptions(st, metrics))
 	defer mgr.Close()
 	j, paused, err := runScenario(mgr, fsys, c.spec(), metrics)
 	if err != nil {
@@ -231,7 +250,7 @@ func (c Config) runCase(k int64, ref *reference) (bool, error) {
 	st, err := store.OpenFS(fsys, storeRoot)
 	if err == nil {
 		metrics := &service.Metrics{}
-		mgr := service.NewManagerOpts(service.Options{Workers: 1, QueueCap: 4, Store: st, Metrics: metrics})
+		mgr := service.NewManagerOpts(managerOptions(st, metrics))
 		j, _, serr := runScenario(mgr, fsys, c.spec(), metrics)
 		if j != nil {
 			id = j.ID
@@ -311,13 +330,19 @@ func (c Config) verifyRecovery(fsys *faultfs.Mem, ref *reference, id string) err
 	}
 	var preTerminal service.JobState
 	if id != "" {
-		if rec, err := st.State(id); err == nil && service.JobState(rec.State).Terminal() {
+		// The newest lifecycle record may still sit in the journal, not
+		// yet materialized into state.json — the journal wins.
+		rec, err := st.State(id)
+		if jrec, ok := store.JournalSnapshot(fsys, storeRoot)[id]; ok {
+			rec, err = jrec, nil
+		}
+		if err == nil && service.JobState(rec.State).Terminal() {
 			preTerminal = service.JobState(rec.State)
 		}
 	}
 
 	metrics := &service.Metrics{}
-	mgr := service.NewManagerOpts(service.Options{Workers: 1, QueueCap: 4, Store: st, Metrics: metrics})
+	mgr := service.NewManagerOpts(managerOptions(st, metrics))
 	defer mgr.Close()
 	if c.Kind == faultfs.FaultCrash {
 		// A pure power cut can lose un-synced work but never corrupt: a
@@ -371,10 +396,11 @@ func (c Config) verifyRecovery(fsys *faultfs.Mem, ref *reference, id string) err
 
 // verifySecondRecovery reopens the store once more (the "two
 // recoveries" of the orphan-temp invariant) and checks the tree is
-// clean and, when the job just completed, that its terminal record
-// stuck.
+// clean: no orphan temp files, and the job's checkpoint chain — now
+// past the open-time stale-delta sweep — still verifies end to end.
 func (c Config) verifySecondRecovery(fsys *faultfs.Mem, id string) error {
-	if _, err := store.OpenFS(fsys, storeRoot); err != nil {
+	st, err := store.OpenFS(fsys, storeRoot)
+	if err != nil {
 		return fmt.Errorf("second recovery failed to open store: %w", err)
 	}
 	stale, err := fsys.Glob(storeRoot + "/jobs/*/*.tmp-*")
@@ -384,16 +410,27 @@ func (c Config) verifySecondRecovery(fsys *faultfs.Mem, id string) error {
 	if len(stale) != 0 {
 		return fmt.Errorf("orphan temp files survived two recoveries: %v", stale)
 	}
-	_ = id
+	if id != "" {
+		if _, err := st.VerifyCheckpoint(id); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			if c.Kind != faultfs.FaultTornWrite {
+				return fmt.Errorf("checkpoint chain invalid after second recovery: %w", err)
+			}
+		}
+	}
 	return nil
 }
 
-// stateDurable reports whether the job's state record file survived
-// the power cut — the line between "remnant the recovery may drop" and
-// "journaled job that must come back".
+// stateDurable reports whether the job's state record survived the
+// power cut — the line between "remnant the recovery may drop" and
+// "journaled job that must come back". With group commit the record
+// can live in either home: the materialized state.json or the intact
+// prefix of journal.wal.
 func stateDurable(fsys *faultfs.Mem, id string) bool {
-	_, err := fsys.ReadFile(storeRoot + "/jobs/" + id + "/state.json")
-	return err == nil
+	if _, err := fsys.ReadFile(storeRoot + "/jobs/" + id + "/state.json"); err == nil {
+		return true
+	}
+	_, ok := store.JournalSnapshot(fsys, storeRoot)[id]
+	return ok
 }
 
 // compareFinal asserts the job's final snapshot is bit-exact against

@@ -12,11 +12,14 @@ import (
 
 // RunHooks cuts power at each named crash point the service exposes
 // (service.ChaosHook): mid journal append, at the async checkpoint
-// swap, just before the checkpoint write, and in the middle of
-// recovery replay itself. The op-index sweep in Run covers the store's
-// I/O schedule; these cover the scheduling seams *above* the store,
-// where an op-counter cannot aim (the async writer runs on its own
-// goroutine, and recovery happens before any counted write).
+// swap, just before a full checkpoint write, just before a delta
+// record write (hit 1 is the crash between the base and its first
+// delta), between a full landing and the old chain's removal
+// (mid-compaction), and in the middle of recovery replay itself. The
+// op-index sweep in Run covers the store's I/O schedule; these cover
+// the scheduling seams *above* the store, where an op-counter cannot
+// aim (the async writer runs on its own goroutine, and recovery
+// happens before any counted write).
 func RunHooks(cfg Config) error {
 	cfg.defaults()
 	cfg.Kind = faultfs.FaultCrash // hooks model power cuts only
@@ -36,7 +39,11 @@ func RunHooks(cfg Config) error {
 		{service.ChaosCheckpointSwap, 1},
 		{service.ChaosCheckpointSwap, 2},
 		{service.ChaosCheckpointWrite, 1},
-		{service.ChaosCheckpointWrite, 3},
+		{service.ChaosCheckpointWrite, 2},
+		{service.ChaosCheckpointDelta, 1},
+		{service.ChaosCheckpointDelta, 2},
+		{service.ChaosCheckpointCompact, 1},
+		{service.ChaosCheckpointCompact, 2},
 	} {
 		if err := cfg.runHookCase(tc.point, tc.hit, ref); err != nil {
 			return fmt.Errorf("chaos: crash at hook %s (hit %d, seed=%d): %w", tc.point, tc.hit, cfg.Seed, err)
@@ -72,10 +79,9 @@ func (c Config) runHookCase(point string, hit int64, ref *reference) error {
 		return err
 	}
 	metrics := &service.Metrics{}
-	mgr := service.NewManagerOpts(service.Options{
-		Workers: 1, QueueCap: 4, Store: st, Metrics: metrics,
-		ChaosHook: crashAt(fsys, point, hit),
-	})
+	opts := managerOptions(st, metrics)
+	opts.ChaosHook = crashAt(fsys, point, hit)
+	mgr := service.NewManagerOpts(opts)
 	j, _, serr := runScenario(mgr, fsys, c.spec(), metrics)
 	var id string
 	if j != nil {
@@ -99,7 +105,7 @@ func (c Config) runRecoveryReplayCase(hit int64, ref *reference) error {
 	if err != nil {
 		return err
 	}
-	mgr := service.NewManagerOpts(service.Options{Workers: 1, QueueCap: 4, Store: st})
+	mgr := service.NewManagerOpts(managerOptions(st, nil))
 	// A short job that finishes before the crash, so the replay loop has
 	// two ids to walk: hit 1 crashes while replaying the finished one,
 	// hit 2 while replaying the interrupted one.
@@ -141,10 +147,9 @@ func (c Config) runRecoveryReplayCase(hit int64, ref *reference) error {
 	if err != nil {
 		return fmt.Errorf("store did not reopen after power cut: %w", err)
 	}
-	mgr2 := service.NewManagerOpts(service.Options{
-		Workers: 1, QueueCap: 4, Store: st2,
-		ChaosHook: crashAt(fsys, service.ChaosRecoveryReplay, hit),
-	})
+	opts2 := managerOptions(st2, nil)
+	opts2.ChaosHook = crashAt(fsys, service.ChaosRecoveryReplay, hit)
+	mgr2 := service.NewManagerOpts(opts2)
 	mgr2.Close()
 	if !fsys.Crashed() {
 		return fmt.Errorf("recovery replay never reached hit %d", hit)

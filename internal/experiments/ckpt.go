@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/store"
+)
+
+// CkptRow is one point of the checkpoint-policy grid: the persisted
+// jobs workload run under a (full-every-K, dirty-ratio-cap) pair,
+// reporting throughput plus how the write volume split between full
+// checkpoints and delta records. full_every=1 is the pre-delta
+// baseline (every checkpoint a full rewrite).
+type CkptRow struct {
+	FullEvery   int
+	DirtyMax    float64
+	Jobs        int
+	StepsPerJob int
+	Wall        time.Duration
+	JobsPerSec  float64
+	// Checkpoints counts every persisted record (fulls + deltas);
+	// Deltas the delta share. CkptBytes is all checkpoint bytes
+	// written, DeltaBytes the delta share of them.
+	Checkpoints int64
+	Deltas      int64
+	CkptBytes   int64
+	DeltaBytes  int64
+}
+
+// CkptSweep runs the persisted jobs workload across the checkpoint
+// delta-policy grid. Empty slices take the default grid; jobs <= 0
+// takes 12 (the CI smoke passes a small batch).
+func CkptSweep(fullEverys []int, dirtyMaxes []float64, jobs int) ([]CkptRow, error) {
+	if len(fullEverys) == 0 {
+		fullEverys = []int{1, 4, 8, 16}
+	}
+	if len(dirtyMaxes) == 0 {
+		dirtyMaxes = []float64{0.5, 1.0}
+	}
+	if jobs <= 0 {
+		jobs = 12
+	}
+	const stepsPerJob = 48
+	rows := make([]CkptRow, 0, len(fullEverys)*len(dirtyMaxes))
+	for _, fe := range fullEverys {
+		for _, dm := range dirtyMaxes {
+			row, err := ckptPoint(fe, dm, jobs, stepsPerJob)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			if fe == 1 {
+				// Full-only mode never consults the dirty cap; one point
+				// covers the whole dirtyMax axis.
+				break
+			}
+		}
+	}
+	return rows, nil
+}
+
+func ckptPoint(fullEvery int, dirtyMax float64, jobs, stepsPerJob int) (CkptRow, error) {
+	dir, err := os.MkdirTemp("", "ckptbench-*")
+	if err != nil {
+		return CkptRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		return CkptRow{}, err
+	}
+	metrics := &service.Metrics{}
+	mgr := service.NewManagerOpts(service.Options{
+		Workers: 4, QueueCap: jobs, Metrics: metrics, Store: st,
+		CheckpointEvery:     8,
+		CheckpointFullEvery: fullEvery,
+		CheckpointDirtyMax:  dirtyMax,
+		// The policy grid measures the raw chain machinery — the
+		// write-budget governor would skim exactly the writes the grid
+		// is here to count.
+		CheckpointBudget: -1,
+	})
+	defer mgr.Close()
+
+	spec := service.JobSpec{
+		Preset: "pipe", Steps: stepsPerJob, VizEvery: -1, SnapshotEvery: -1,
+	}
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		if _, err := mgr.Submit(spec); err != nil {
+			return CkptRow{}, err
+		}
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	for int(metrics.JobsDone.Load()+metrics.JobsFailed.Load()) < jobs {
+		if time.Now().After(deadline) {
+			return CkptRow{}, fmt.Errorf("experiments: ckpt benchmark stalled at %d/%d",
+				metrics.JobsDone.Load(), jobs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wall := time.Since(start)
+	if failed := metrics.JobsFailed.Load(); failed > 0 {
+		return CkptRow{}, fmt.Errorf("experiments: %d ckpt benchmark jobs failed", failed)
+	}
+	return CkptRow{
+		FullEvery:   fullEvery,
+		DirtyMax:    dirtyMax,
+		Jobs:        jobs,
+		StepsPerJob: stepsPerJob,
+		Wall:        wall,
+		JobsPerSec:  float64(jobs) / wall.Seconds(),
+		Checkpoints: metrics.CheckpointsWritten.Load(),
+		Deltas:      metrics.CheckpointDeltasWritten.Load(),
+		CkptBytes:   metrics.CheckpointBytes.Load(),
+		DeltaBytes:  metrics.CheckpointDeltaBytes.Load(),
+	}, nil
+}
+
+// FormatCkpt renders the policy grid as an aligned table.
+func FormatCkpt(rows []CkptRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s  %9s  %6s  %12s  %10s  %12s  %7s  %12s  %12s\n",
+		"full_every", "dirty_max", "jobs", "wall", "jobs/sec", "checkpoints", "deltas", "ckpt_bytes", "delta_bytes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10d  %9.2f  %6d  %12s  %10.1f  %12d  %7d  %12d  %12d\n",
+			r.FullEvery, r.DirtyMax, r.Jobs,
+			r.Wall.Round(time.Millisecond), r.JobsPerSec,
+			r.Checkpoints, r.Deltas, r.CkptBytes, r.DeltaBytes)
+	}
+	return b.String()
+}
+
+// SubmitRow is one rung of the submit-concurrency ladder: N durable
+// submissions issued from C concurrent clients. The group-commit
+// journal shares one fsync across a batch of concurrent submits, so
+// submits/sec should climb with C instead of serializing on the disk;
+// mean_batch is the realized group size (fsync amortization factor).
+type SubmitRow struct {
+	Concurrency   int
+	Jobs          int
+	Wall          time.Duration
+	SubmitsPerSec float64
+	GroupCommits  int64
+	MeanBatch     float64
+}
+
+// SubmitSweep measures durable submission throughput at each
+// concurrency. jobs <= 0 takes 64 submissions per rung.
+func SubmitSweep(concurrencies []int, jobs int) ([]SubmitRow, error) {
+	if len(concurrencies) == 0 {
+		concurrencies = []int{1, 2, 4, 8, 16}
+	}
+	if jobs <= 0 {
+		jobs = 64
+	}
+	rows := make([]SubmitRow, 0, len(concurrencies))
+	for _, c := range concurrencies {
+		row, err := submitPoint(c, jobs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func submitPoint(concurrency, jobs int) (SubmitRow, error) {
+	dir, err := os.MkdirTemp("", "submitbench-*")
+	if err != nil {
+		return SubmitRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		return SubmitRow{}, err
+	}
+	metrics := &service.Metrics{}
+	mgr := service.NewManagerOpts(service.Options{
+		Workers: 1, QueueCap: jobs, Metrics: metrics, Store: st,
+		CheckpointEvery: -1,
+	})
+	defer mgr.Close()
+
+	// Tiny jobs: the rung times the submission path (validate + journal
+	// + enqueue), not the runs; the drain after the clock stops just
+	// keeps Close from cancelling work.
+	spec := service.JobSpec{
+		Preset: "pipe", Steps: 8, VizEvery: -1, SnapshotEvery: -1,
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, concurrency)
+	per := jobs / concurrency
+	total := per * concurrency
+	start := time.Now()
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := mgr.Submit(spec); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return SubmitRow{}, err
+		}
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	for int(metrics.JobsDone.Load()+metrics.JobsFailed.Load()) < total {
+		if time.Now().After(deadline) {
+			return SubmitRow{}, fmt.Errorf("experiments: submit benchmark drain stalled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	row := SubmitRow{
+		Concurrency:   concurrency,
+		Jobs:          total,
+		Wall:          wall,
+		SubmitsPerSec: float64(total) / wall.Seconds(),
+		GroupCommits:  metrics.JournalGroupCommits.Load(),
+	}
+	if recs := metrics.JournalGroupCommitRecords.Load(); row.GroupCommits > 0 {
+		row.MeanBatch = float64(recs) / float64(row.GroupCommits)
+	}
+	return row, nil
+}
+
+// FormatSubmit renders the ladder as an aligned table.
+func FormatSubmit(rows []SubmitRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%11s  %6s  %12s  %12s  %13s  %10s\n",
+		"concurrency", "jobs", "wall", "submits/sec", "group_commits", "mean_batch")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%11d  %6d  %12s  %12.1f  %13d  %10.2f\n",
+			r.Concurrency, r.Jobs, r.Wall.Round(time.Millisecond),
+			r.SubmitsPerSec, r.GroupCommits, r.MeanBatch)
+	}
+	return b.String()
+}

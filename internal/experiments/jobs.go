@@ -32,6 +32,10 @@ type JobsRow struct {
 
 // JobsThroughput runs the jobs-throughput benchmark for each batch
 // size, once in-memory and once persisted to a throwaway data dir.
+// Each point is the best of jobsRepeats runs — the min-wall estimator
+// both rows share, so the persist-on/off delta measures the durability
+// machinery, not whichever run a GC cycle or scheduler hiccup landed
+// on.
 func JobsThroughput(batches []int) ([]JobsRow, error) {
 	if len(batches) == 0 {
 		batches = []int{4, 16, 64}
@@ -40,7 +44,7 @@ func JobsThroughput(batches []int) ([]JobsRow, error) {
 	rows := make([]JobsRow, 0, 2*len(batches))
 	for _, n := range batches {
 		for _, persist := range []bool{false, true} {
-			row, err := jobsPoint(n, stepsPerJob, persist)
+			row, err := jobsPointBest(n, stepsPerJob, persist)
 			if err != nil {
 				return nil, err
 			}
@@ -48,6 +52,24 @@ func JobsThroughput(batches []int) ([]JobsRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// jobsRepeats is the per-point repeat count behind the min-wall
+// estimator.
+const jobsRepeats = 3
+
+func jobsPointBest(jobs, stepsPerJob int, persist bool) (JobsRow, error) {
+	var best JobsRow
+	for i := 0; i < jobsRepeats; i++ {
+		row, err := jobsPoint(jobs, stepsPerJob, persist)
+		if err != nil {
+			return JobsRow{}, err
+		}
+		if i == 0 || row.Wall < best.Wall {
+			best = row
+		}
+	}
+	return best, nil
 }
 
 func jobsPoint(jobs, stepsPerJob int, persist bool) (JobsRow, error) {

@@ -51,6 +51,10 @@ type FS interface {
 	// Glob returns the paths matching pattern (filepath.Glob rules; no
 	// "**"). A pattern that matches nothing returns an empty slice.
 	Glob(pattern string) ([]string, error)
+	// OpenAppend opens name for appending, creating it if absent — the
+	// write mode of a journal: records are only ever added at the tail,
+	// and a Sync makes every record appended so far durable.
+	OpenAppend(name string) (File, error)
 	// SyncDir fsyncs a directory's entries, making renames and
 	// creations inside it durable.
 	SyncDir(dir string) error
@@ -82,6 +86,11 @@ func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) 
 
 // Glob implements FS.
 func (OS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+// OpenAppend implements FS.
+func (OS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
 
 // SyncDir implements FS.
 func (OS) SyncDir(dir string) error {

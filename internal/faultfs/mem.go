@@ -98,8 +98,8 @@ type Fault struct {
 //     to its last-synced contents — a file that was never synced keeps
 //     only a seeded-random prefix of what was written (a torn page).
 //
-// Every mutating operation (MkdirAll, CreateTemp, Write, Sync, Rename,
-// Remove, RemoveAll, SyncDir) is counted; faults registered with
+// Every mutating operation (MkdirAll, CreateTemp, OpenAppend, Write,
+// Sync, Rename, Remove, RemoveAll, SyncDir) is counted; faults registered with
 // Inject fire when the counter reaches their op index. All behaviour
 // is deterministic for a fixed seed and operation order.
 type Mem struct {
@@ -346,6 +346,40 @@ func (m *Mem) CreateTemp(dir, pattern string) (File, error) {
 	}
 	f := &memFile{}
 	d.entries[name] = f
+	return &memHandle{m: m, f: f, path: full}, nil
+}
+
+// OpenAppend implements FS. Opening an existing file resumes appending
+// at its current tail (Write always appends in this model); a missing
+// file is created as a volatile entry, like CreateTemp, until its
+// directory is synced. The crash semantics are exactly a journal's: a
+// Sync makes the whole prefix so far durable, and a crash tears a
+// never-synced tail at a seeded length.
+func (m *Mem) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	full := filepath.ToSlash(name)
+	if _, err := m.beginLocked(false, "openappend "+full); err != nil {
+		return nil, pathErr("openappend", name, err)
+	}
+	parts := norm(name)
+	if len(parts) == 0 {
+		return nil, pathErr("openappend", name, fs.ErrInvalid)
+	}
+	d, err := m.lookupDirLocked(parts[:len(parts)-1], false)
+	if err != nil {
+		return nil, pathErr("openappend", name, err)
+	}
+	leaf := parts[len(parts)-1]
+	if n, ok := d.entries[leaf]; ok {
+		f, ok := n.(*memFile)
+		if !ok {
+			return nil, pathErr("openappend", name, fmt.Errorf("faultfs: %s is a directory", name))
+		}
+		return &memHandle{m: m, f: f, path: full}, nil
+	}
+	f := &memFile{}
+	d.entries[leaf] = f
 	return &memHandle{m: m, f: f, path: full}, nil
 }
 

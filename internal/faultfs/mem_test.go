@@ -392,3 +392,90 @@ func TestOSSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMemOpenAppendJournalSemantics pins the write-ahead-log contract
+// OpenAppend exists for: records synced before a crash survive exactly;
+// a tail appended after the last Sync is lost or torn, never
+// reordered; and reopening resumes at the durable tail.
+func TestMemOpenAppendJournalSemantics(t *testing.T) {
+	m := NewMem(3)
+	if err := m.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenAppend("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("rec1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("rec2\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("rec3\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m.PowerCycle()
+	got, err := m.ReadFile("wal")
+	if err != nil {
+		t.Fatalf("after crash: %v", err)
+	}
+	if !bytes.Equal(got, []byte("rec1\nrec2\n")) {
+		t.Fatalf("after crash: %q, want the synced prefix", got)
+	}
+	// Reopen resumes at the durable tail; a second crash without Sync
+	// rolls back to it.
+	f, err = m.OpenAppend("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("rec4\n")); err != nil {
+		t.Fatal(err)
+	}
+	m.PowerCycle()
+	got, err = m.ReadFile("wal")
+	if err != nil || !bytes.Equal(got, []byte("rec1\nrec2\n")) {
+		t.Fatalf("after second crash: (%q, %v), want the synced prefix", got, err)
+	}
+	// A file created by OpenAppend but never synced (entry in an
+	// unsynced directory) vanishes entirely.
+	if err := m.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.OpenAppend("d/wal2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	m.PowerCycle()
+	if _, err := m.ReadFile("d/wal2"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("never-synced journal survived the crash: %v", err)
+	}
+}
+
+// TestMemOpenAppendCountsAsOp keeps the chaos op accounting honest:
+// OpenAppend is a counted operation that faults can target.
+func TestMemOpenAppendCountsAsOp(t *testing.T) {
+	m := NewMem(1)
+	if err := m.SyncDir("."); err != nil { // op 1
+		t.Fatal(err)
+	}
+	m.Inject(Fault{Op: 2, Kind: FaultErr})
+	if _, err := m.OpenAppend("wal"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("OpenAppend under FaultErr: %v", err)
+	}
+	if _, err := m.OpenAppend("wal"); err != nil {
+		t.Fatalf("OpenAppend after fault consumed: %v", err)
+	}
+}

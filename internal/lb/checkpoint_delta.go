@@ -1,0 +1,375 @@
+package lb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+)
+
+// Delta checkpoints make durability cost scale with *change* instead of
+// domain size: the global site range is cut into fixed-size tiles, and
+// a delta record ("lbcd") stores only the tiles whose populations
+// differ bit-wise from the previous persisted state — quiescent tiles
+// (bit-stable flow, regions a steering change never reached) skip the
+// encode AND the CRC. Records chain off a full "lbcq" checkpoint via
+// the predecessor's CRC64 trailer, so a chain replays to a bit-exact
+// state or fails verification; it can never silently mix generations.
+//
+// The layout and the chain/compaction rules live in
+// docs/CHECKPOINT_FORMAT.md next to the full format.
+
+// deltaMagic identifies a delta checkpoint record. Like the full
+// format, the magic IS the version: incompatible layout changes must
+// mint a new one.
+const deltaMagic = 0x6c626364 // "lbcd"
+
+// deltaHeaderLen is the fixed delta header: 9 little-endian uint64s
+// (magic, step, sites, q, iolets, seq, prevCRC, tileSites, dirtyTiles).
+const deltaHeaderLen = 9 * 8
+
+// DefaultDeltaTileSites is the dirty-tracking granularity the service
+// uses: sites per tile in the fixed partition of the global site range.
+// Small enough that a localized change keeps a delta small, large
+// enough that the per-tile index overhead stays negligible.
+const DefaultDeltaTileSites = 256
+
+// DeltaInfo is the parsed delta record header plus the record's own
+// CRC (the chain identity its successor must name as PrevCRC).
+type DeltaInfo struct {
+	// Info describes the *target* state: the step the delta advances the
+	// chain to, over the same domain shape as the base checkpoint.
+	Info CheckpointInfo
+	// Seq is the 1-based position in the chain after the full base.
+	Seq uint64
+	// PrevCRC is the CRC64 trailer of the predecessor record: the full
+	// checkpoint for Seq 1, the previous delta otherwise.
+	PrevCRC uint64
+	// TileSites is the partition granularity; DirtyTiles how many tile
+	// records the body carries.
+	TileSites  int
+	DirtyTiles int
+	// CRC is this record's own trailer.
+	CRC uint64
+}
+
+// CheckpointDelta is a fully decoded delta record: the header plus the
+// replicated iolet densities and the dirty tiles' populations.
+type CheckpointDelta struct {
+	DeltaInfo
+	IoletRho []float64
+	// TileIdx holds the dirty tile indices in strictly increasing
+	// order; TileF the concatenated per-tile population payloads, in
+	// the same order (tile t covers tileLen(t)*Q floats).
+	TileIdx []int
+	TileF   []float64
+}
+
+// NumDeltaTiles returns how many tiles of tileSites sites cover n
+// global sites.
+func NumDeltaTiles(n, tileSites int) int {
+	return (n + tileSites - 1) / tileSites
+}
+
+// deltaTileLen is the site count of tile t (the last tile may be
+// short).
+func deltaTileLen(t, sites, tileSites int) int {
+	lo := t * tileSites
+	hi := lo + tileSites
+	if hi > sites {
+		hi = sites
+	}
+	return hi - lo
+}
+
+// DirtyTiles appends to dst the indices of tiles whose populations in
+// st differ from base, comparing float bit patterns (exact, NaN-safe:
+// a restore must be bit-identical, not merely numerically close). The
+// two states must share a shape. dst is reused across checkpoints so
+// steady-state dirty tracking allocates nothing.
+func (st *CheckpointState) DirtyTiles(base *CheckpointState, tileSites int, dst []int) ([]int, error) {
+	if err := sameShape(st, base); err != nil {
+		return dst, err
+	}
+	if tileSites <= 0 {
+		return dst, fmt.Errorf("lb: delta tile size %d out of range", tileSites)
+	}
+	q := st.Info.Q
+	tiles := NumDeltaTiles(st.Info.Sites, tileSites)
+	for t := 0; t < tiles; t++ {
+		lo := t * tileSites * q
+		hi := lo + deltaTileLen(t, st.Info.Sites, tileSites)*q
+		if !equalBits(st.F[lo:hi], base.F[lo:hi]) {
+			dst = append(dst, t)
+		}
+	}
+	return dst, nil
+}
+
+// equalBits compares float64 slices by bit pattern.
+func equalBits(a, b []float64) bool {
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameShape(st, base *CheckpointState) error {
+	if st.Info.Sites != base.Info.Sites || st.Info.Q != base.Info.Q || st.Info.Iolets != base.Info.Iolets {
+		return fmt.Errorf("lb: delta shape mismatch (%d sites Q=%d %d iolets vs base %d sites Q=%d %d iolets)",
+			st.Info.Sites, st.Info.Q, st.Info.Iolets,
+			base.Info.Sites, base.Info.Q, base.Info.Iolets)
+	}
+	return nil
+}
+
+// DeltaStats reports what one EncodeDeltaTo wrote.
+type DeltaStats struct {
+	// Tiles is the partition size; Dirty how many tiles were encoded.
+	Tiles, Dirty int
+	// Bytes is the full record length; CRC its trailer — the PrevCRC
+	// the next record in the chain must carry.
+	Bytes int
+	CRC   uint64
+}
+
+// EncodeDeltaTo writes a delta record advancing the chain from base
+// (the previously persisted state, whose record CRC is prevCRC) to st.
+// dirty is the tile list a prior DirtyTiles(base, ...) computed —
+// callers compute it first so a too-dirty delta can be abandoned for a
+// full checkpoint before any encoding happens; nil means "compute here".
+// The iolet densities are always stored in full (steering state, a few
+// floats). seq is the record's 1-based chain position.
+func (st *CheckpointState) EncodeDeltaTo(w io.Writer, base *CheckpointState, seq uint64, prevCRC uint64, tileSites int, dirty []int) (DeltaStats, error) {
+	if err := sameShape(st, base); err != nil {
+		return DeltaStats{}, err
+	}
+	if st.Info.Step <= base.Info.Step {
+		return DeltaStats{}, fmt.Errorf("lb: delta step %d does not advance base step %d",
+			st.Info.Step, base.Info.Step)
+	}
+	if seq == 0 {
+		return DeltaStats{}, fmt.Errorf("lb: delta seq must be >= 1")
+	}
+	if dirty == nil {
+		var err error
+		if dirty, err = st.DirtyTiles(base, tileSites, nil); err != nil {
+			return DeltaStats{}, err
+		}
+	}
+	var bw io.Writer
+	var fl *bufio.Writer
+	if mem, ok := w.(*bytes.Buffer); ok {
+		bw = mem
+	} else {
+		fl = bufio.NewWriter(w)
+		bw = fl
+	}
+	crc := crc64.New(crcTable)
+	mw := io.MultiWriter(bw, crc)
+	head := []uint64{
+		deltaMagic,
+		uint64(st.Info.Step),
+		uint64(st.Info.Sites),
+		uint64(st.Info.Q),
+		uint64(len(st.IoletRho)),
+		seq,
+		prevCRC,
+		uint64(tileSites),
+		uint64(len(dirty)),
+	}
+	var scratch [4096]byte
+	for _, v := range head {
+		if err := binary.Write(mw, binary.LittleEndian, v); err != nil {
+			return DeltaStats{}, fmt.Errorf("lb: delta header: %w", err)
+		}
+	}
+	if err := writeF64s(mw, st.IoletRho, scratch[:]); err != nil {
+		return DeltaStats{}, fmt.Errorf("lb: delta iolets: %w", err)
+	}
+	q := st.Info.Q
+	bytes := deltaHeaderLen + 8*len(st.IoletRho) + 8
+	for _, t := range dirty {
+		if err := binary.Write(mw, binary.LittleEndian, uint64(t)); err != nil {
+			return DeltaStats{}, fmt.Errorf("lb: delta tile index: %w", err)
+		}
+		lo := t * tileSites * q
+		n := deltaTileLen(t, st.Info.Sites, tileSites) * q
+		if err := writeF64s(mw, st.F[lo:lo+n], scratch[:]); err != nil {
+			return DeltaStats{}, fmt.Errorf("lb: delta tile %d: %w", t, err)
+		}
+		bytes += 8 + 8*n
+	}
+	sum := crc.Sum64()
+	if err := binary.Write(bw, binary.LittleEndian, sum); err != nil {
+		return DeltaStats{}, fmt.Errorf("lb: delta crc: %w", err)
+	}
+	if fl != nil {
+		if err := fl.Flush(); err != nil {
+			return DeltaStats{}, err
+		}
+	}
+	return DeltaStats{
+		Tiles: NumDeltaTiles(st.Info.Sites, tileSites),
+		Dirty: len(dirty),
+		Bytes: bytes,
+		CRC:   sum,
+	}, nil
+}
+
+// CheckpointCRC returns the CRC64 trailer of an encoded checkpoint or
+// delta record — the chain identity a successor delta names as
+// PrevCRC. The caller must have verified data already; this only reads
+// the last eight bytes.
+func CheckpointCRC(data []byte) (uint64, error) {
+	if len(data) < 8 {
+		return 0, fmt.Errorf("lb: record too short for a crc trailer (%d bytes)", len(data))
+	}
+	return binary.LittleEndian.Uint64(data[len(data)-8:]), nil
+}
+
+// DecodeDeltaBytes fully parses and CRC-verifies one delta record. All
+// allocations are bounded by the actual input length, never by header
+// claims, so a corrupted header cannot commit memory before the checks
+// reject it.
+func DecodeDeltaBytes(data []byte) (*CheckpointDelta, error) {
+	if len(data) < deltaHeaderLen+8 {
+		return nil, fmt.Errorf("lb: delta record too short (%d bytes)", len(data))
+	}
+	if magic := binary.LittleEndian.Uint64(data); magic != deltaMagic {
+		return nil, fmt.Errorf("lb: not a delta checkpoint (magic %#x)", magic)
+	}
+	d := &CheckpointDelta{DeltaInfo: DeltaInfo{
+		Info: CheckpointInfo{
+			Step:   int(binary.LittleEndian.Uint64(data[8:])),
+			Sites:  int(binary.LittleEndian.Uint64(data[16:])),
+			Q:      int(binary.LittleEndian.Uint64(data[24:])),
+			Iolets: int(binary.LittleEndian.Uint64(data[32:])),
+		},
+		Seq:        binary.LittleEndian.Uint64(data[40:]),
+		PrevCRC:    binary.LittleEndian.Uint64(data[48:]),
+		TileSites:  int(binary.LittleEndian.Uint64(data[56:])),
+		DirtyTiles: int(binary.LittleEndian.Uint64(data[64:])),
+	}}
+	if err := d.Info.validate(); err != nil {
+		return nil, err
+	}
+	if d.Seq == 0 {
+		return nil, fmt.Errorf("lb: delta seq 0 (chain positions are 1-based)")
+	}
+	// A tile size above the site count is legal (one short tile covers
+	// the whole domain — small domains under the default granularity);
+	// only nonsense values are rejected.
+	if d.TileSites <= 0 || d.TileSites > maxCheckpointSites {
+		return nil, fmt.Errorf("lb: delta tile size %d out of range", d.TileSites)
+	}
+	tiles := NumDeltaTiles(d.Info.Sites, d.TileSites)
+	if d.DirtyTiles < 0 || d.DirtyTiles > tiles {
+		return nil, fmt.Errorf("lb: delta claims %d dirty tiles of %d", d.DirtyTiles, tiles)
+	}
+	// The record length is fully determined by the header except for
+	// whether the (possibly short) last tile is among the dirty set, so
+	// the exact-length fail-fast checks both admissible lengths before
+	// any body allocation.
+	q := d.Info.Q
+	fullTile := 8 + 8*d.TileSites*q
+	base := deltaHeaderLen + 8*d.Info.Iolets + 8
+	wantFull := base + d.DirtyTiles*fullTile
+	lastLen := deltaTileLen(tiles-1, d.Info.Sites, d.TileSites)
+	wantShort := wantFull - 8*(d.TileSites-lastLen)*q
+	if len(data) != wantFull && !(d.DirtyTiles > 0 && len(data) == wantShort) {
+		return nil, fmt.Errorf("lb: delta record is %d bytes, header implies %d (or %d with the tail tile)",
+			len(data), wantFull, wantShort)
+	}
+	body := data[:len(data)-8]
+	wantCRC := binary.LittleEndian.Uint64(data[len(data)-8:])
+	if got := crc64.Checksum(body, crcTable); got != wantCRC {
+		return nil, fmt.Errorf("lb: delta record corrupt (crc %#x, want %#x)", got, wantCRC)
+	}
+	d.CRC = wantCRC
+	at := deltaHeaderLen
+	d.IoletRho = decodeF64s(data[at:at+8*d.Info.Iolets], nil)
+	at += 8 * d.Info.Iolets
+	d.TileIdx = make([]int, 0, d.DirtyTiles)
+	d.TileF = make([]float64, 0, (len(data)-at-8)/8)
+	prev := -1
+	for i := 0; i < d.DirtyTiles; i++ {
+		t := int(binary.LittleEndian.Uint64(data[at:]))
+		at += 8
+		if t <= prev || t >= tiles {
+			return nil, fmt.Errorf("lb: delta tile index %d out of order or range (tiles=%d)", t, tiles)
+		}
+		n := deltaTileLen(t, d.Info.Sites, d.TileSites) * q
+		if at+8*n > len(body) {
+			return nil, fmt.Errorf("lb: delta tile %d overruns the record", t)
+		}
+		d.TileIdx = append(d.TileIdx, t)
+		d.TileF = decodeF64s(data[at:at+8*n], d.TileF)
+		at += 8 * n
+		prev = t
+	}
+	if at != len(body) {
+		return nil, fmt.Errorf("lb: delta record has %d trailing bytes", len(body)-at)
+	}
+	return d, nil
+}
+
+// decodeF64s appends the little-endian float64s in raw to dst.
+func decodeF64s(raw []byte, dst []float64) []float64 {
+	for i := 0; i+8 <= len(raw); i += 8 {
+		dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(raw[i:])))
+	}
+	return dst
+}
+
+// VerifyDeltaCheckpointBytes fully parses and CRC-verifies a delta
+// record, reporting its header. The store's chain verification and the
+// fuzzer drive this.
+func VerifyDeltaCheckpointBytes(data []byte) (DeltaInfo, error) {
+	d, err := DecodeDeltaBytes(data)
+	if err != nil {
+		return DeltaInfo{}, err
+	}
+	return d.DeltaInfo, nil
+}
+
+// ApplyDelta advances st (the chain state so far) by one decoded delta
+// record in place: dirty tiles and iolet densities are overwritten, the
+// step moves forward. Chain linkage (PrevCRC against the predecessor's
+// trailer) is the caller's to enforce — this checks only shape and step
+// monotonicity, the invariants that keep a mis-linked apply from
+// corrupting silently.
+func (st *CheckpointState) ApplyDelta(d *CheckpointDelta) error {
+	if st.Info.Sites != d.Info.Sites || st.Info.Q != d.Info.Q || st.Info.Iolets != d.Info.Iolets {
+		return fmt.Errorf("lb: delta is for %d sites Q=%d %d iolets, state has %d sites Q=%d %d iolets",
+			d.Info.Sites, d.Info.Q, d.Info.Iolets, st.Info.Sites, st.Info.Q, st.Info.Iolets)
+	}
+	if d.Info.Step <= st.Info.Step {
+		return fmt.Errorf("lb: delta step %d does not advance state step %d", d.Info.Step, st.Info.Step)
+	}
+	q := st.Info.Q
+	at := 0
+	for _, t := range d.TileIdx {
+		n := deltaTileLen(t, st.Info.Sites, d.TileSites) * q
+		copy(st.F[t*d.TileSites*q:], d.TileF[at:at+n])
+		at += n
+	}
+	copy(st.IoletRho, d.IoletRho)
+	st.Info.Step = d.Info.Step
+	return nil
+}
+
+// Clone deep-copies a state — the writer keeps the last persisted
+// state this way when it cannot retain the delivered buffer itself.
+func (st *CheckpointState) Clone() *CheckpointState {
+	return &CheckpointState{
+		Info:     st.Info,
+		IoletRho: append([]float64(nil), st.IoletRho...),
+		F:        append([]float64(nil), st.F...),
+	}
+}

@@ -39,6 +39,7 @@ const (
 	EvCheckpointStart     = "checkpoint-write-start"
 	EvCheckpointEnd       = "checkpoint-write-end"
 	EvCheckpointCoalesced = "checkpoint-coalesced"
+	EvCheckpointSkip      = "checkpoint-skip"
 	EvPause               = "pause"
 	EvResume              = "resume"
 	EvDiverged            = "diverged"

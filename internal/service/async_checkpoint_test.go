@@ -36,6 +36,22 @@ func (p *gatedPutter) PutCheckpoint(id string, data []byte) error {
 	return nil
 }
 
+func (p *gatedPutter) PutCheckpointDelta(id string, seq uint64, data []byte) error {
+	p.entered <- struct{}{}
+	<-p.release
+	di, err := lb.VerifyDeltaCheckpointBytes(data)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.steps = append(p.steps, di.Info.Step)
+	p.frames = append(p.frames, append([]byte(nil), data...))
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *gatedPutter) DropCheckpointDeltas(id string) error { return nil }
+
 func testState(step int) *lb.CheckpointState {
 	return &lb.CheckpointState{
 		Info:     lb.CheckpointInfo{Step: step, Sites: 4, Q: 3, Iolets: 1},
@@ -53,7 +69,9 @@ func testState(step int) *lb.CheckpointState {
 func TestCkptWriterCoalescesUnderBackpressure(t *testing.T) {
 	metrics := &Metrics{}
 	p := &gatedPutter{entered: make(chan struct{}, 4), release: make(chan struct{}, 4)}
-	w := newCkptWriter(p, "job-test", metrics, nil, nil, nil)
+	// fullEvery 1 keeps every write a full checkpoint: this test pins
+	// the back-pressure contract, not the delta policy.
+	w := newCkptWriter(p, "job-test", metrics, nil, nil, nil, 1, 0.5, -1, nil)
 
 	// First checkpoint: no buffer exists yet, core would allocate.
 	if st := w.TakeBuffer(); st != nil {
@@ -111,7 +129,7 @@ func TestCkptWriterCoalescesUnderBackpressure(t *testing.T) {
 // writer down cleanly.
 func TestCkptWriterCloseWithoutDeliveries(t *testing.T) {
 	p := &gatedPutter{entered: make(chan struct{}, 1), release: make(chan struct{}, 1)}
-	w := newCkptWriter(p, "job-test", &Metrics{}, nil, nil, nil)
+	w := newCkptWriter(p, "job-test", &Metrics{}, nil, nil, nil, 8, 0.5, -1, nil)
 	w.Close()
 	w.Close() // idempotent
 	if len(p.steps) != 0 {

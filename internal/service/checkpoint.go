@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lb"
@@ -15,6 +16,8 @@ import (
 // and exercise coalescing deterministically.
 type checkpointPutter interface {
 	PutCheckpoint(id string, data []byte) error
+	PutCheckpointDelta(id string, seq uint64, data []byte) error
+	DropCheckpointDeltas(id string) error
 }
 
 // ckptWriter implements core.CheckpointSink: it moves checkpoint
@@ -22,14 +25,41 @@ type checkpointPutter interface {
 // onto one goroutine per job.
 //
 // The solver's in-loop cost is a collective state gather into a
-// reusable buffer plus two O(1) swaps (TakeBuffer/Deliver). Two
-// CheckpointState buffers cycle through three homes — free (ready to
-// gather into), pending (gathered, awaiting write) and in-flight
-// (being encoded/written) — so steady-state checkpointing allocates
-// nothing. Back-pressure is "latest wins": at most one write is ever
-// in flight, and if the solver gathers again before the writer caught
+// reusable buffer plus two O(1) swaps (TakeBuffer/Deliver). Three
+// CheckpointState buffers cycle through four homes — free (ready to
+// gather into), pending (gathered, awaiting write), in-flight (being
+// encoded/written) and last (the last persisted state, kept as the
+// delta base) — so steady-state checkpointing allocates nothing.
+// Back-pressure is "latest wins": at most one write is ever in
+// flight, and if the solver gathers again before the writer caught
 // up, the pending state is overwritten and counted as coalesced — the
-// solver never blocks on the disk.
+// solver never blocks on the disk. Coalescing cannot lose dirty
+// information: deltas are diffed against the last *persisted* state,
+// not the last gathered one, so a coalesced-away intermediate's
+// changes are still in the diff of whatever state finally lands.
+//
+// Persistence is an incremental chain: a full lbcq checkpoint every
+// fullEvery-th write, lbcd delta records (only the dirty site tiles)
+// in between. A delta is abandoned for a full when the dirty ratio
+// exceeds dirtyMax, the shape changed, or the step did not advance.
+// Every successful full is followed by dropping the superseded delta
+// files — mandatory, not just tidy: after a resume the writer restarts
+// the chain, and a lingering old delta whose PrevCRC happens to match
+// a bit-identical re-written full must never be picked up again.
+//
+// On top of the chain policy sits the write-budget governor (budget,
+// cost): checkpoint writes are skipped while the time this job has
+// spent writing, plus the manager-wide estimate of the next write's
+// cost, would exceed budget × the job's elapsed run time. This is the
+// Young/Daly argument in ratio form — a checkpoint is only worth
+// taking when it costs less than the re-execution it saves, so a job
+// whose whole runtime is comparable to one write never checkpoints,
+// while a long-running job converges to the cadence the spec asked
+// for with overhead bounded by the budget. Skipping is always safe:
+// the chain state is untouched, recovery replays from the previous
+// record (or step 0), and the next landed write's dirty diff still
+// covers everything skipped in between. The drain write on Close
+// bypasses the budget — it is the last chance before a shutdown.
 //
 // Close drains: the last delivered state is encoded and written before
 // Close returns, so terminal/shutdown recovery semantics are exactly
@@ -62,15 +92,50 @@ type ckptWriter struct {
 	// touches it.
 	enc  bytes.Buffer
 	done chan struct{}
+
+	// Delta-chain state, writer-goroutine-only. last is the last
+	// persisted state — it never cycles back through TakeBuffer while it
+	// is the chain base. tailCRC is the CRC64 trailer of the last
+	// persisted record (full or delta), nextSeq the 1-based sequence of
+	// the next delta. fullEvery/dirtyMax are the policy knobs (fullEvery
+	// <= 1 disables deltas entirely); dirty is the reusable dirty-tile
+	// scratch.
+	last      *lb.CheckpointState
+	tailCRC   uint64
+	nextSeq   uint64
+	fullEvery int
+	dirtyMax  float64
+	dirty     []int
+
+	// Write-budget governor state. budget is the cap on cumulative
+	// write time as a fraction of the job's elapsed run time (<= 0
+	// disables the governor); cost is the manager-wide cost estimate
+	// shared by every job's writer (EWMA of write durations, ns; nil
+	// means no shared estimate, so a first write always lands);
+	// start anchors "elapsed"; writeNs accumulates this job's write
+	// time (writer-goroutine only).
+	budget  float64
+	cost    *atomic.Int64
+	start   time.Time
+	writeNs int64
 }
 
 // newCkptWriter starts the writer goroutine for one job. rec, log and
 // chaos may be nil (no flight recorder / discarded logs / no chaos).
-func newCkptWriter(store checkpointPutter, id string, metrics *Metrics, rec *obs.Recorder, log *slog.Logger, chaos ChaosHook) *ckptWriter {
+// fullEvery and dirtyMax set the delta-chain policy; fullEvery <= 1
+// writes only full checkpoints. budget caps write time as a fraction
+// of elapsed run time (<= 0 = no cap) against the shared cost
+// estimate (nil = none — the governor then only throttles after this
+// job's own first write).
+func newCkptWriter(store checkpointPutter, id string, metrics *Metrics, rec *obs.Recorder, log *slog.Logger, chaos ChaosHook, fullEvery int, dirtyMax float64, budget float64, cost *atomic.Int64) *ckptWriter {
 	if log == nil {
 		log = obs.NopLogger()
 	}
-	w := &ckptWriter{store: store, id: id, metrics: metrics, rec: rec, log: log, chaos: chaos, done: make(chan struct{})}
+	w := &ckptWriter{
+		store: store, id: id, metrics: metrics, rec: rec, log: log, chaos: chaos,
+		fullEvery: fullEvery, dirtyMax: dirtyMax, done: make(chan struct{}),
+		budget: budget, cost: cost, start: time.Now(),
+	}
 	w.cond = sync.NewCond(&w.mu)
 	go w.loop()
 	return w
@@ -80,7 +145,8 @@ func newCkptWriter(store checkpointPutter, id string, metrics *Metrics, rec *obs
 // buffer to gather into. Preference order: a free (already written)
 // buffer; else the pending one — overwriting it coalesces two
 // checkpoints into the newer (back-pressure, counted); else nil, and
-// the gather allocates (happens at most twice per job).
+// the gather allocates (happens at most three times per job: one
+// buffer gathering, one in flight, one held as the delta base).
 func (w *ckptWriter) TakeBuffer() *lb.CheckpointState {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -152,31 +218,80 @@ func (w *ckptWriter) loop() {
 		}
 		st := w.pending
 		w.pending = nil
+		final := w.closed
 		w.mu.Unlock()
 		if st == nil {
 			return // closed with nothing left to drain
 		}
-		w.write(st)
-		w.mu.Lock()
-		w.free = st
-		w.mu.Unlock()
+		// write returns the buffer to recycle: the displaced old base on
+		// success (st became the new base), st itself on failure or skip.
+		recycle := w.write(st, final)
+		if recycle != nil {
+			w.mu.Lock()
+			w.free = recycle
+			w.mu.Unlock()
+		}
 	}
 }
 
-// write encodes one state into the reusable buffer and persists it,
-// timing the full encode+fsync into the CheckpointWrite histogram.
-// Failures are counted and logged, not fatal: the job keeps its
-// previous checkpoint, exactly as the synchronous path behaved.
-func (w *ckptWriter) write(st *lb.CheckpointState) {
+// write persists one state — as a delta record when the chain policy
+// allows, as a full checkpoint otherwise — and returns the buffer to
+// recycle. Failures are counted and logged, not fatal: the job keeps
+// its previous checkpoint, exactly as the synchronous path behaved.
+// final marks the Close drain, which bypasses the write budget.
+func (w *ckptWriter) write(st *lb.CheckpointState, final bool) *lb.CheckpointState {
+	if !final && w.budget > 0 {
+		var est int64
+		if w.cost != nil {
+			est = w.cost.Load()
+		}
+		if est > 0 && float64(w.writeNs+est) > w.budget*float64(time.Since(w.start).Nanoseconds()) {
+			w.metrics.CheckpointsSkippedBudget.Add(1)
+			if w.rec != nil {
+				w.rec.Record(obs.EvCheckpointSkip, st.Info.Step, 0, "write budget")
+			}
+			return st
+		}
+	}
 	start := time.Now()
 	if w.rec != nil {
 		w.rec.Record(obs.EvCheckpointStart, st.Info.Step, 0, "")
 	}
+	// Decide full vs delta before encoding anything: the dirty scan is
+	// the cheap part, and a too-dirty delta falls back to a full without
+	// wasted encode work.
+	var dirty []int
+	useDelta := false
+	if w.last != nil && w.fullEvery > 1 && w.nextSeq > 0 && w.nextSeq < uint64(w.fullEvery) &&
+		st.Info.Sites == w.last.Info.Sites && st.Info.Q == w.last.Info.Q &&
+		st.Info.Iolets == w.last.Info.Iolets && st.Info.Step > w.last.Info.Step {
+		var err error
+		dirty, err = st.DirtyTiles(w.last, lb.DefaultDeltaTileSites, w.dirty[:0])
+		if err == nil {
+			w.dirty = dirty
+			tiles := lb.NumDeltaTiles(st.Info.Sites, lb.DefaultDeltaTileSites)
+			w.metrics.CheckpointDirtyRatioPermille.Store(int64(1000 * len(dirty) / tiles))
+			useDelta = float64(len(dirty)) <= w.dirtyMax*float64(tiles)
+		}
+	} else {
+		w.metrics.CheckpointDirtyRatioPermille.Store(1000)
+	}
+	if useDelta {
+		return w.writeDelta(st, dirty, start)
+	}
+	return w.writeFull(st, start)
+}
+
+// writeFull encodes and persists st as a full lbcq checkpoint and
+// restarts the delta chain on it: the superseded delta files are
+// dropped (the ckpt.compact crash window sits between the two — stale
+// survivors fail linkage and are swept at the next open).
+func (w *ckptWriter) writeFull(st *lb.CheckpointState, start time.Time) *lb.CheckpointState {
 	w.enc.Reset()
 	if err := st.EncodeTo(&w.enc); err != nil {
 		w.metrics.StoreErrors.Add(1)
 		w.log.Warn("checkpoint encode failed", "step", st.Info.Step, "err", err)
-		return
+		return st
 	}
 	if w.chaos != nil {
 		w.chaos(ChaosCheckpointWrite, w.id)
@@ -184,9 +299,76 @@ func (w *ckptWriter) write(st *lb.CheckpointState) {
 	if err := w.store.PutCheckpoint(w.id, w.enc.Bytes()); err != nil {
 		w.metrics.StoreErrors.Add(1)
 		w.log.Warn("checkpoint write failed", "step", st.Info.Step, "err", err)
-		return
+		return st
 	}
+	crc, err := lb.CheckpointCRC(w.enc.Bytes())
+	if err != nil {
+		// Unreachable for a stream EncodeTo just produced; park the chain
+		// so the next write is a full again.
+		w.log.Warn("checkpoint CRC readback failed", "step", st.Info.Step, "err", err)
+		w.last, w.tailCRC, w.nextSeq = nil, 0, 0
+		w.finish(st, start)
+		return st
+	}
+	if w.chaos != nil {
+		w.chaos(ChaosCheckpointCompact, w.id)
+	}
+	if err := w.store.DropCheckpointDeltas(w.id); err != nil {
+		w.metrics.StoreErrors.Add(1)
+		w.log.Warn("checkpoint delta drop failed", "err", err)
+	}
+	recycle := w.last
+	if w.fullEvery > 1 {
+		w.last, w.tailCRC, w.nextSeq = st, crc, 1
+	} else {
+		// Full-only mode keeps no delta base, so st recycles directly.
+		recycle = st
+	}
+	w.finish(st, start)
+	return recycle
+}
+
+// writeDelta encodes and persists the dirty tiles of st against the
+// last persisted state as one lbcd record, extending the chain.
+func (w *ckptWriter) writeDelta(st *lb.CheckpointState, dirty []int, start time.Time) *lb.CheckpointState {
+	w.enc.Reset()
+	stats, err := st.EncodeDeltaTo(&w.enc, w.last, w.nextSeq, w.tailCRC, lb.DefaultDeltaTileSites, dirty)
+	if err != nil {
+		w.metrics.StoreErrors.Add(1)
+		w.log.Warn("checkpoint delta encode failed", "step", st.Info.Step, "err", err)
+		return st
+	}
+	if w.chaos != nil {
+		w.chaos(ChaosCheckpointDelta, w.id)
+	}
+	if err := w.store.PutCheckpointDelta(w.id, w.nextSeq, w.enc.Bytes()); err != nil {
+		w.metrics.StoreErrors.Add(1)
+		w.log.Warn("checkpoint delta write failed", "step", st.Info.Step, "seq", w.nextSeq, "err", err)
+		return st
+	}
+	recycle := w.last
+	w.last, w.tailCRC = st, stats.CRC
+	w.nextSeq++
+	w.metrics.CheckpointDeltasWritten.Add(1)
+	w.metrics.CheckpointDeltaBytes.Add(int64(w.enc.Len()))
+	w.finish(st, start)
+	return recycle
+}
+
+// finish records the shared success metrics and flight-recorder event
+// for one persisted record (full or delta).
+func (w *ckptWriter) finish(st *lb.CheckpointState, start time.Time) {
 	dur := time.Since(start).Nanoseconds()
+	w.writeNs += dur
+	if w.cost != nil {
+		// Manager-wide EWMA (3:1 old:new) so freshly started jobs
+		// inherit a realistic estimate of what a write costs here.
+		if old := w.cost.Load(); old > 0 {
+			w.cost.Store((3*old + dur) / 4)
+		} else {
+			w.cost.Store(dur)
+		}
+	}
 	w.metrics.CheckpointWrite.Observe(dur)
 	if w.rec != nil {
 		w.rec.Record(obs.EvCheckpointEnd, st.Info.Step, dur, "")

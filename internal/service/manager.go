@@ -62,6 +62,13 @@ const (
 	// ChaosCheckpointWrite fires on the writer goroutine immediately
 	// before the encoded checkpoint is persisted.
 	ChaosCheckpointWrite = "ckpt.write"
+	// ChaosCheckpointDelta fires on the writer goroutine immediately
+	// before an encoded delta record is persisted.
+	ChaosCheckpointDelta = "ckpt.delta"
+	// ChaosCheckpointCompact fires between a full checkpoint landing
+	// and the old delta chain being removed — the mid-compaction crash
+	// window (stale deltas must be rejected and swept, never replayed).
+	ChaosCheckpointCompact = "ckpt.compact"
 	// ChaosRecoveryReplay fires once per journaled job as boot-time
 	// recovery replays it — a crash *during* recovery must itself be
 	// recoverable.
@@ -373,6 +380,42 @@ type Options struct {
 	// -1 means no default checkpointing (specs can still opt in with
 	// an explicit positive checkpoint_every). Ignored without Store.
 	CheckpointEvery int
+	// CheckpointFullEvery is the delta-chain policy: every Kth
+	// checkpoint is a full one, the ones between are delta records over
+	// the previous persisted state. 0 means the built-in 8; 1 (or any
+	// smaller value) writes only full checkpoints. Ignored without
+	// Store.
+	CheckpointFullEvery int
+	// CheckpointDirtyMax caps how dirty a delta may be before the
+	// writer falls back to a full checkpoint: a delta is written only
+	// when dirtyTiles/tiles <= CheckpointDirtyMax. 0 means the built-in
+	// 1.0 — deltas regardless of ratio, because a delta record skips
+	// the data fsync (see store.PutCheckpointDelta) and so beats a
+	// full even when every tile is dirty; lower it to trade chain disk
+	// footprint for earlier fulls. Negative writes fulls only. Ignored
+	// without Store.
+	CheckpointDirtyMax float64
+	// CheckpointBudget caps each job's cumulative checkpoint write time
+	// to this fraction of its elapsed run time (the Young/Daly
+	// criterion in ratio form: a checkpoint is worth taking only when
+	// it costs less than the re-execution it saves). The writer skips
+	// in-loop checkpoints while the budget is exhausted against a
+	// manager-wide write-cost estimate — so a job whose whole runtime
+	// is comparable to one write never checkpoints, and a long job
+	// checkpoints at its spec'd cadence with overhead bounded by the
+	// budget. The shutdown drain write always lands. 0 means the
+	// built-in 0.05 (5% of runtime); negative disables the governor
+	// (every cadence write lands, the pre-budget behavior). Ignored
+	// without Store.
+	CheckpointBudget float64
+	// JournalDelay is the group-commit bounded-latency timer: how long
+	// the journal writer waits after the first record arrives so
+	// concurrent submits can share one fsync. 0 (the default) commits
+	// as soon as the writer is free, which already batches under load.
+	JournalDelay time.Duration
+	// DisableJournal keeps spec/lifecycle writes on the per-file
+	// fsync+rename path instead of the group-commit journal.
+	DisableJournal bool
 	// Logger receives the manager's structured log stream (job
 	// lifecycle, recovery, store failures). Nil discards everything.
 	Logger *slog.Logger
@@ -394,8 +437,17 @@ type Manager struct {
 	ringSz  int
 	// store is the durability layer (nil = in-memory only); ckptEvery
 	// is the default checkpoint cadence for specs that don't set one.
-	store     *store.Store
-	ckptEvery int
+	// fullEvery/dirtyMax are the delta-chain policy knobs handed to each
+	// job's checkpoint writer.
+	store      *store.Store
+	ckptEvery  int
+	fullEvery  int
+	dirtyMax   float64
+	ckptBudget float64
+	// ckptCostNs is the manager-wide EWMA of checkpoint write cost the
+	// budget governor prices new writes with; each job's writer reads
+	// and updates it.
+	ckptCostNs atomic.Int64
 	// chaos observes named crash points (nil in production).
 	chaos ChaosHook
 	// solverThreads is the daemon default for specs with threads: 0.
@@ -471,12 +523,27 @@ func NewManagerOpts(o Options) *Manager {
 	if o.SolverThreads > maxSpecThreads {
 		o.SolverThreads = maxSpecThreads
 	}
+	if o.CheckpointFullEvery == 0 {
+		o.CheckpointFullEvery = 8
+	}
+	if o.CheckpointFullEvery < 1 {
+		o.CheckpointFullEvery = 1 // full checkpoints only
+	}
+	if o.CheckpointDirtyMax == 0 {
+		o.CheckpointDirtyMax = 1.0
+	}
+	if o.CheckpointBudget == 0 {
+		o.CheckpointBudget = 0.05
+	}
 	m := &Manager{
 		metrics:       o.Metrics,
 		log:           o.Logger,
 		ringSz:        o.EventRing,
 		store:         o.Store,
 		ckptEvery:     o.CheckpointEvery,
+		fullEvery:     o.CheckpointFullEvery,
+		dirtyMax:      o.CheckpointDirtyMax,
+		ckptBudget:    o.CheckpointBudget,
 		chaos:         o.ChaosHook,
 		solverThreads: o.SolverThreads,
 		slots:         make(chan struct{}, o.Workers),
@@ -484,6 +551,21 @@ func NewManagerOpts(o Options) *Manager {
 		pool:          NewRenderPool(o.RenderWorkers, o.RenderQueue, o.Metrics),
 		jobs:          make(map[string]*Job),
 		hubs:          make(map[string]*viewHub),
+	}
+	// The group-commit journal comes up before recovery: EnableJournal
+	// replays any log a previous run left, so recovery always sees the
+	// materialized per-job files plus nothing stale. A journal that
+	// cannot come up degrades to the per-file fsync path rather than
+	// refusing to boot jobs that are already safely on disk.
+	if m.store != nil && !o.DisableJournal {
+		m.store.SetGroupCommitObserver(func(records int) {
+			o.Metrics.JournalGroupCommits.Add(1)
+			o.Metrics.JournalGroupCommitRecords.Add(int64(records))
+		})
+		if err := m.store.EnableJournal(o.JournalDelay); err != nil {
+			m.metrics.StoreErrors.Add(1)
+			m.log.Error("journal unavailable; falling back to per-file writes", "err", err)
+		}
 	}
 	// Recovery runs before the dispatcher exists, so the re-queued
 	// backlog can size the queue channel (a restart must never drop
@@ -576,13 +658,13 @@ func (m *Manager) recoverFromStore() []*Job {
 		} else {
 			j.state = StateQueued
 			j.restarts++
-			// Verify the checkpoint now but keep only its step — the
-			// bytes are re-read at dispatch, so a crash with a big
+			// Verify the checkpoint chain now but keep only its step —
+			// the state is re-read at dispatch, so a crash with a big
 			// backlog doesn't hold every solver state in memory while
 			// jobs wait for a slot. The step doubles as the reported
 			// progress; without a usable checkpoint it stays 0 so the
 			// step counter never runs backwards once the re-run starts.
-			if _, step, err := m.store.Checkpoint(id); err == nil {
+			if step, err := m.store.VerifyCheckpoint(id); err == nil {
 				j.resumeStep = step
 				j.step.Store(int64(step))
 			} else if !errors.Is(err, fs.ErrNotExist) {
@@ -643,12 +725,24 @@ func (j *Job) recordLocked() store.JobRecord {
 	}
 }
 
-// persistState journals the job's current lifecycle record,
-// best-effort: a failed write is counted, not fatal — the run itself
-// must not die because the disk hiccuped. journalMu makes record
-// build + write atomic against other journal writers, so records land
-// in build order and the last write always reflects the newest state.
-func (m *Manager) persistState(j *Job) {
+// persistState journals the job's current lifecycle record and waits
+// for it to be durable. Best-effort: a failed write is counted, not
+// fatal — the run itself must not die because the disk hiccuped.
+// journalMu makes record build + write atomic against other journal
+// writers, so records land in build order and the last write always
+// reflects the newest state.
+func (m *Manager) persistState(j *Job) { m.persistStateRecord(j, true) }
+
+// persistStateNoWait journals the record through the group-commit
+// queue without waiting for the shared fsync: ordering against every
+// later journal write is preserved, the record rides the next commit,
+// and losing it to a crash is indistinguishable from crashing a
+// moment earlier. Used for the terminal record on the worker's run
+// path — the fsync ack would otherwise hold the worker slot (and the
+// job's journalMu) for a full disk flush per finished job.
+func (m *Manager) persistStateNoWait(j *Job) { m.persistStateRecord(j, false) }
+
+func (m *Manager) persistStateRecord(j *Job, wait bool) {
 	if m.store == nil {
 		return
 	}
@@ -667,21 +761,25 @@ func (m *Manager) persistState(j *Job) {
 		return
 	}
 	m.chaosPoint(ChaosJournalAppend, j.ID)
-	if err := m.store.PutState(j.ID, rec); err != nil {
+	append := m.store.AppendState
+	if !wait {
+		append = m.store.AppendStateNoWait
+	}
+	if err := append(j.ID, rec); err != nil {
 		m.metrics.StoreErrors.Add(1)
 		j.log.Warn("journaling state failed", "state", rec.State, "err", err)
 	}
 }
 
 // persistStateAsync journals the current lifecycle record off the
-// caller's critical path. Out-of-order completion is safe by
-// construction: the record is rebuilt from the job's state under
-// journalMu at write time, so a delayed write re-writes the newest
-// state — it can never resurrect an old one. Used for the mid-run
-// transitions (pause, resume) whose loss in a crash is
-// indistinguishable from crashing a moment earlier; submission and
-// terminal records stay synchronous because they back user-visible
-// promises.
+// caller's critical path entirely (own goroutine, synchronous ack).
+// Out-of-order completion is safe by construction: the record is
+// rebuilt from the job's state under journalMu at write time, so a
+// delayed write re-writes the newest state — it can never resurrect
+// an old one. Used for the mid-run transitions (pause, resume) whose
+// loss in a crash is indistinguishable from crashing a moment
+// earlier; submission and user-facing cancellation stay fully
+// synchronous because they back user-visible promises.
 func (m *Manager) persistStateAsync(j *Job) {
 	if m.store == nil {
 		return
@@ -756,12 +854,11 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	m.mu.Unlock()
 	// Journal before accepting: once Submit returns 201, the job must
 	// survive a crash, so a spec that cannot be journaled is rejected.
+	// Spec and initial state go as one atomic group-committed record;
+	// concurrent submits share the journal fsync.
 	if m.store != nil {
 		m.chaosPoint(ChaosJournalAppend, j.ID)
-		err := m.store.PutSpec(j.ID, j.Spec)
-		if err == nil {
-			err = m.store.PutState(j.ID, j.recordLocked())
-		}
+		err := m.store.AppendSubmit(j.ID, j.Spec, j.recordLocked())
 		if err != nil {
 			m.mu.Lock()
 			m.queuedLen--
@@ -953,7 +1050,7 @@ func (m *Manager) run(j *Job) {
 	var writer *ckptWriter
 	if every := m.checkpointCadence(j.Spec); every > 0 {
 		cfg.CheckpointEvery = every
-		writer = newCkptWriter(m.store, j.ID, m.metrics, j.rec, j.log, m.chaos)
+		writer = newCkptWriter(m.store, j.ID, m.metrics, j.rec, j.log, m.chaos, m.fullEvery, m.dirtyMax, m.ckptBudget, &m.ckptCostNs)
 		cfg.Checkpoint = writer
 	}
 	// A recovered job resumes from its journaled checkpoint, re-read
@@ -1059,7 +1156,11 @@ func (m *Manager) finish(j *Job, runErr error, completed bool) {
 		j.log.Info("job finished", "state", detail, "step", finalStep)
 	}
 	if !skipJournal {
-		m.persistState(j)
+		// The terminal record rides the next group commit without the
+		// worker waiting out the fsync: losing it to a crash equals
+		// crashing a moment earlier (the job re-runs), which recovery
+		// already handles, and the worker slot frees immediately.
+		m.persistStateNoWait(j)
 	}
 	m.cache.InvalidateJob(j.ID)
 	// Seal after the terminal state is visible: a subscriber woken by
@@ -1342,4 +1443,10 @@ func (m *Manager) Close() {
 	}
 	m.wg.Wait()
 	m.pool.Close()
+	if m.store != nil {
+		// After every run (and its journal writes) has finished: stop the
+		// group-commit goroutine. Acknowledged records are durable; the
+		// log replays at the next boot.
+		m.store.CloseJournal()
+	}
 }

@@ -73,6 +73,28 @@ type Metrics struct {
 	// JobsDiverged counts jobs whose published snapshot fields went
 	// non-finite — the simulation blew up. Latched once per job.
 	JobsDiverged atomic.Int64
+	// Delta-chain counters. CheckpointDeltasWritten counts lbcd delta
+	// records persisted (CheckpointsWritten counts fulls and deltas
+	// together; CheckpointBytes likewise covers both, while
+	// CheckpointDeltaBytes is the delta share — the gap between
+	// CheckpointBytes and CheckpointDeltaBytes is what full-only
+	// persistence would also have paid). CheckpointDirtyRatioPermille is
+	// a gauge of the last dirty-tile scan, in thousandths (1000 on full
+	// writes).
+	CheckpointDeltasWritten      atomic.Int64
+	CheckpointDeltaBytes         atomic.Int64
+	CheckpointDirtyRatioPermille atomic.Int64
+	// CheckpointsSkippedBudget counts checkpoint writes the write-budget
+	// governor refused because cumulative write time would have exceeded
+	// the configured fraction of the job's runtime (Young/Daly: a
+	// checkpoint that costs more than the re-execution it saves is not
+	// worth taking).
+	CheckpointsSkippedBudget atomic.Int64
+	// Group-commit counters. JournalGroupCommits counts journal fsync
+	// batches, JournalGroupCommitRecords the records across them — the
+	// ratio is the realized batch size (the fsync amortization factor).
+	JournalGroupCommits       atomic.Int64
+	JournalGroupCommitRecords atomic.Int64
 
 	// Latency histograms (log-bucketed, nanosecond samples). The solver
 	// phase histograms fold rank-0 timings from every running job:
@@ -145,6 +167,12 @@ func (m *Metrics) rows() []counterRow {
 		{"hemeserved_checkpoints_coalesced_total", m.CheckpointsCoalesced.Load(), "counter", "Gathered checkpoint states overwritten before being written."},
 		{"hemeserved_snapshots_skipped_total", m.SnapshotsSkipped.Load(), "counter", "Snapshot cadence boundaries skipped for lack of interest."},
 		{"hemeserved_jobs_diverged_total", m.JobsDiverged.Load(), "counter", "Jobs whose snapshot fields went non-finite (simulation blow-up)."},
+		{"hemeserved_checkpoints_skipped_budget_total", m.CheckpointsSkippedBudget.Load(), "counter", "Checkpoint writes skipped by the write-budget governor."},
+		{"hemeserved_checkpoint_deltas_written_total", m.CheckpointDeltasWritten.Load(), "counter", "Incremental (lbcd) checkpoint delta records persisted."},
+		{"hemeserved_checkpoint_delta_bytes_total", m.CheckpointDeltaBytes.Load(), "counter", "Bytes of incremental checkpoint delta data written."},
+		{"hemeserved_checkpoint_dirty_ratio_permille", m.CheckpointDirtyRatioPermille.Load(), "gauge", "Dirty site-tile ratio of the last checkpoint write, in thousandths."},
+		{"hemeserved_journal_group_commits_total", m.JournalGroupCommits.Load(), "counter", "Journal group-commit fsync batches."},
+		{"hemeserved_journal_group_commit_records_total", m.JournalGroupCommitRecords.Load(), "counter", "Records across journal group-commit batches."},
 	}
 }
 

@@ -1,0 +1,477 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io/fs"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// Group-commit journal: the submit path used to pay two fsynced
+// atomic-rename writes (spec, then state) before a job's 201 — ~2 disk
+// flushes per submit, serialized. The journal turns both into one
+// appended record on a shared write-ahead log, and a single commit
+// goroutine batches every record that arrived while the previous fsync
+// was in flight into the next one — under concurrent submits the flush
+// cost amortizes across the batch ("group commit"), while each caller
+// still blocks until its record is durable.
+//
+// Format: one record per line, `<compact JSON> #crc64:<16 hex>\n`. The
+// CRC is per line, so a torn tail (power cut mid-append) invalidates
+// only the last line; replay stops at the first bad line and everything
+// before it is intact — exactly the prefix the fsync contract promised.
+//
+// Lifecycle: EnableJournal replays any journal left by a previous run
+// into the per-job files (full atomic-rename durability), truncates it,
+// and opens a fresh log. At runtime Append* records land only in the
+// journal plus an in-memory overlay that keeps Spec/State/Jobs reads
+// coherent; the per-job files catch up at the next EnableJournal.
+// Remove appends a durable tombstone *before* deleting the directory,
+// so a crash cannot replay an older submit record back to life.
+
+// journalFile is the write-ahead log, in the store root next to jobs/.
+const journalFile = "journal.wal"
+
+// journalCRCSep introduces the per-line integrity trailer.
+const journalCRCSep = " #crc64:"
+
+// journalRec is one journal line. Submit carries spec and state
+// together: the two-file submit had a crash window where the spec
+// existed without a state record; one atomic line removes it.
+type journalRec struct {
+	Op    string          `json:"op"` // "submit", "state", "remove"
+	ID    string          `json:"id"`
+	Spec  json.RawMessage `json:"spec,omitempty"`
+	State *JobRecord      `json:"state,omitempty"`
+}
+
+// overlayEntry is the in-memory view of a job's journal-newer data.
+type overlayEntry struct {
+	spec    json.RawMessage
+	state   *JobRecord
+	removed bool
+}
+
+// journalReq is one caller blocked on the next group commit.
+type journalReq struct {
+	line []byte
+	done chan error
+}
+
+// journal is the group-commit writer. One goroutine owns the file;
+// callers enqueue and wait.
+type journal struct {
+	file  faultfs.File
+	delay time.Duration
+
+	// dirty marks appended-but-not-fsynced bytes (commit goroutine
+	// only): a batch of exclusively no-wait records is written without
+	// its own fsync — its contract is already "durable no later than
+	// the next waited commit", so it rides the next batch that has a
+	// caller blocked on it (or the close-time flush) instead of paying
+	// a dedicated disk flush.
+	dirty bool
+
+	mu     sync.Mutex
+	queue  []journalReq
+	closed bool
+	kick   chan struct{}
+	dead   chan struct{}
+}
+
+// EnableJournal switches the store's spec/lifecycle writes to the
+// group-commit journal: any existing journal is replayed into the
+// per-job files and truncated, then a fresh log is opened. delay is the
+// optional bounded-latency timer — how long a commit waits after the
+// first record arrives to let more join the batch (0 commits as soon as
+// the writer is free, which already batches under concurrency).
+// Call once, before the store is shared.
+func (s *Store) EnableJournal(delay time.Duration) error {
+	if s.jn != nil {
+		return fmt.Errorf("store: journal already enabled")
+	}
+	if err := s.replayJournal(); err != nil {
+		// The journal stays on disk for a later boot to replay; until
+		// then spec/state/remove writes are refused — written behind the
+		// journal, the eventual replay would roll them back.
+		s.mu.Lock()
+		s.jnStuck = true
+		s.mu.Unlock()
+		return err
+	}
+	path := filepath.Join(s.root, journalFile)
+	f, err := s.fs.OpenAppend(path)
+	if err != nil {
+		return fmt.Errorf("store: open journal: %w", err)
+	}
+	// The log's directory entry must be durable before the first record
+	// is acknowledged, or a crash could drop the whole file.
+	if err := s.syncDir(s.root); err != nil {
+		f.Close()
+		return err
+	}
+	j := &journal{file: f, delay: delay, kick: make(chan struct{}, 1), dead: make(chan struct{})}
+	s.mu.Lock()
+	s.overlay = make(map[string]*overlayEntry)
+	s.mu.Unlock()
+	s.jn = j
+	go j.run(s)
+	return nil
+}
+
+// CloseJournal stops the commit goroutine and closes the log. Records
+// already acknowledged are durable; the journal itself stays on disk
+// for the next EnableJournal to replay. Safe to call when the journal
+// was never enabled.
+func (s *Store) CloseJournal() {
+	j := s.jn
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	if !j.closed {
+		j.closed = true
+		close(j.kick)
+	}
+	j.mu.Unlock()
+	<-j.dead
+}
+
+// SetGroupCommitObserver registers a callback invoked after every group
+// commit with the number of records in the batch. Call before the store
+// is shared.
+func (s *Store) SetGroupCommitObserver(fn func(records int)) {
+	s.groupObs = fn
+}
+
+// run is the commit goroutine: drain everything queued, write it as one
+// append, fsync once, wake every waiter.
+func (j *journal) run(s *Store) {
+	defer close(j.dead)
+	for range j.kick {
+		if j.delay > 0 {
+			time.Sleep(j.delay)
+		}
+		j.commit(s)
+	}
+	// Closed: fail anything that raced in after the final commit.
+	j.commit(s)
+	j.mu.Lock()
+	left := j.queue
+	j.queue = nil
+	j.mu.Unlock()
+	for _, r := range left {
+		if r.done != nil {
+			r.done <- fmt.Errorf("store: journal closed")
+		}
+	}
+	if j.dirty {
+		// Deferred no-wait records flush before the log closes, so a
+		// graceful shutdown loses nothing.
+		if err := j.file.Sync(); err != nil {
+			s.log.Warn("journal close-time flush failed", "err", err)
+		}
+	}
+	j.file.Close()
+}
+
+func (j *journal) commit(s *Store) {
+	j.mu.Lock()
+	batch := j.queue
+	j.queue = nil
+	j.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	var buf bytes.Buffer
+	hasWaiter := false
+	for _, r := range batch {
+		buf.Write(r.line)
+		if r.done != nil {
+			hasWaiter = true
+		}
+	}
+	var err error
+	if _, werr := j.file.Write(buf.Bytes()); werr != nil {
+		err = werr
+	} else if !hasWaiter {
+		// All-no-wait batch: skip the fsync; the records are ordered in
+		// the file and flush with the next waited commit or at close.
+		j.dirty = true
+	} else if serr := j.file.Sync(); serr != nil {
+		err = serr
+	} else {
+		j.dirty = false
+	}
+	for _, r := range batch {
+		if r.done == nil {
+			// No-wait record: nobody is listening, so a failure is
+			// reported here or nowhere.
+			if err != nil {
+				s.log.Warn("journal group commit failed for no-wait record", "err", err)
+			}
+			continue
+		}
+		r.done <- err
+	}
+	if s.groupObs != nil {
+		s.groupObs(len(batch))
+	}
+}
+
+// append enqueues one line and blocks until its group commit fsyncs (or
+// fails — the whole batch shares the error).
+func (j *journal) append(line []byte) error {
+	req := journalReq{line: line, done: make(chan error, 1)}
+	if err := j.enqueue(req); err != nil {
+		return err
+	}
+	return <-req.done
+}
+
+// appendNoWait enqueues one line without waiting for its commit: the
+// record holds its place in the queue (so ordering against later
+// appends is preserved) and lands in the very next group commit, but
+// the caller does not pay the fsync latency. A commit failure is
+// logged by the commit goroutine instead of returned.
+func (j *journal) appendNoWait(line []byte) error {
+	return j.enqueue(journalReq{line: line})
+}
+
+func (j *journal) enqueue(req journalReq) error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return fmt.Errorf("store: journal closed")
+	}
+	j.queue = append(j.queue, req)
+	select {
+	case j.kick <- struct{}{}:
+	default:
+	}
+	j.mu.Unlock()
+	return nil
+}
+
+// encodeJournalLine renders rec as one CRC-trailed line.
+func encodeJournalLine(rec journalRec) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: marshal journal record: %w", err)
+	}
+	return []byte(fmt.Sprintf("%s%s%016x\n", payload, journalCRCSep, crc64.Checksum(payload, crcTable))), nil
+}
+
+// parseJournal returns the records of every intact line, stopping at
+// the first torn or corrupt one (the legal crash outcome: a durable
+// prefix).
+func parseJournal(data []byte) []journalRec {
+	var recs []journalRec
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn tail, no terminator
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		at := bytes.LastIndex(line, []byte(journalCRCSep))
+		if at < 0 {
+			break
+		}
+		payload := line[:at]
+		var want uint64
+		if _, err := fmt.Sscanf(string(line[at+len(journalCRCSep):]), "%016x", &want); err != nil {
+			break
+		}
+		if crc64.Checksum(payload, crcTable) != want {
+			break
+		}
+		var rec journalRec
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// replayJournal materializes a previous run's journal into the per-job
+// files and truncates it. Any materialization failure keeps the journal
+// in place and aborts — better to refuse the boot than to serve a state
+// older than what was acknowledged durable.
+func (s *Store) replayJournal() error {
+	path := filepath.Join(s.root, journalFile)
+	data, err := s.fs.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read journal: %w", err)
+	}
+	recs := parseJournal(data)
+	// Latest record per id wins; order across ids is immaterial.
+	merged := make(map[string]*overlayEntry)
+	for _, rec := range recs {
+		e := merged[rec.ID]
+		if e == nil {
+			e = &overlayEntry{}
+			merged[rec.ID] = e
+		}
+		switch rec.Op {
+		case "submit":
+			e.spec = rec.Spec
+			e.state = rec.State
+			e.removed = false
+		case "state":
+			e.state = rec.State
+			e.removed = false
+		case "remove":
+			*e = overlayEntry{removed: true}
+		}
+	}
+	for id, e := range merged {
+		if e.removed {
+			if err := s.Remove(id); err != nil {
+				return err
+			}
+			continue
+		}
+		if e.spec != nil {
+			if err := s.putJSON(id, specFile, e.spec); err != nil {
+				return err
+			}
+		}
+		if e.state != nil {
+			if err := s.PutState(id, *e.state); err != nil {
+				return err
+			}
+		}
+	}
+	if err := s.fs.Remove(path); err != nil {
+		return fmt.Errorf("store: truncate journal: %w", err)
+	}
+	return s.syncDir(s.root)
+}
+
+// appendRecord writes one record through the group-commit path,
+// updating the read overlay first (under the store lock, so overlay
+// order matches queue order). wait=false enqueues without paying the
+// fsync latency — the record rides the next group commit. Without an
+// enabled journal the caller falls back to the direct file writes.
+// Frozen stores no-op.
+func (s *Store) appendRecord(rec journalRec, wait bool) (bool, error) {
+	s.mu.Lock()
+	if s.frozen {
+		s.mu.Unlock()
+		return true, nil
+	}
+	j := s.jn
+	if j == nil {
+		s.mu.Unlock()
+		return false, nil
+	}
+	line, err := encodeJournalLine(rec)
+	if err != nil {
+		s.mu.Unlock()
+		return true, err
+	}
+	e := s.overlay[rec.ID]
+	if e == nil {
+		e = &overlayEntry{}
+		s.overlay[rec.ID] = e
+	}
+	switch rec.Op {
+	case "submit":
+		e.spec = rec.Spec
+		e.state = rec.State
+		e.removed = false
+	case "state":
+		e.state = rec.State
+		e.removed = false
+	case "remove":
+		*e = overlayEntry{removed: true}
+	}
+	s.mu.Unlock()
+	append := j.append
+	if !wait {
+		append = j.appendNoWait
+	}
+	if err := append(line); err != nil {
+		s.log.Warn("journal append failed", "job", rec.ID, "op", rec.Op, "err", err)
+		return true, err
+	}
+	return true, nil
+}
+
+// AppendSubmit journals an accepted submission — spec and initial
+// lifecycle record as one atomic, group-committed line. Falls back to
+// PutSpec+PutState when the journal is not enabled.
+func (s *Store) AppendSubmit(id string, spec any, rec JobRecord) error {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("store: marshal spec: %w", err)
+	}
+	handled, err := s.appendRecord(journalRec{Op: "submit", ID: id, Spec: specJSON, State: &rec}, true)
+	if handled {
+		return err
+	}
+	if err := s.putJSON(id, specFile, specJSON); err != nil {
+		return err
+	}
+	return s.PutState(id, rec)
+}
+
+// AppendState journals a lifecycle update. Falls back to PutState when
+// the journal is not enabled.
+func (s *Store) AppendState(id string, rec JobRecord) error {
+	handled, err := s.appendRecord(journalRec{Op: "state", ID: id, State: &rec}, true)
+	if handled {
+		return err
+	}
+	return s.PutState(id, rec)
+}
+
+// AppendStateNoWait journals a lifecycle update without waiting for
+// the group commit: the record is ordered against every later append
+// and lands in the next shared fsync, but the caller returns
+// immediately — durability semantics equal a crash a moment earlier.
+// Falls back to the synchronous PutState when the journal is not
+// enabled (the direct write path has no deferred-ack form).
+func (s *Store) AppendStateNoWait(id string, rec JobRecord) error {
+	handled, err := s.appendRecord(journalRec{Op: "state", ID: id, State: &rec}, false)
+	if handled {
+		return err
+	}
+	return s.PutState(id, rec)
+}
+
+// JournalSnapshot parses the write-ahead log under root on fsys without
+// opening a store, returning the newest lifecycle record of every job
+// whose last journaled op is not a remove. Crash-harness introspection:
+// with the journal enabled, "is this job durably recorded" means the
+// per-job files *or* the intact journal prefix.
+func JournalSnapshot(fsys faultfs.FS, root string) map[string]JobRecord {
+	data, err := fsys.ReadFile(filepath.Join(root, journalFile))
+	if err != nil {
+		return nil
+	}
+	out := make(map[string]JobRecord)
+	for _, rec := range parseJournal(data) {
+		switch rec.Op {
+		case "submit", "state":
+			if rec.State != nil {
+				out[rec.ID] = *rec.State
+			}
+		case "remove":
+			delete(out, rec.ID)
+		}
+	}
+	return out
+}

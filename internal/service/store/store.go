@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc64"
+	"io/fs"
 	"log/slog"
 	"path/filepath"
 	"sort"
@@ -85,6 +86,19 @@ type Store struct {
 	// been fsynced into the parent, so only a job's first write pays
 	// the parent-directory sync.
 	syncedDirs map[string]bool
+	// overlay holds per-job data the group-commit journal has that the
+	// per-job files do not yet (journal.go); nil until EnableJournal.
+	overlay map[string]*overlayEntry
+
+	// jn is the group-commit journal; nil until EnableJournal.
+	jn *journal
+	// jnStuck is set when EnableJournal found a journal it could not
+	// replay: spec/state/remove writes are refused until a later boot
+	// replays it, because writing the per-job files *behind* an
+	// unreplayed journal would let that replay roll them back.
+	jnStuck bool
+	// groupObs, when set, observes every group commit's batch size.
+	groupObs func(records int)
 }
 
 // Open creates (if needed) and returns a store rooted at dir on the
@@ -110,6 +124,7 @@ func OpenFS(fsys faultfs.FS, dir string) (*Store, error) {
 	}
 	s := &Store{root: dir, fs: fsys, log: obs.NopLogger(), syncedDirs: make(map[string]bool)}
 	s.sweepTemps("*")
+	s.sweepChains()
 	return s, nil
 }
 
@@ -156,18 +171,28 @@ func (s *Store) jobDir(id string) string {
 	return filepath.Join(s.root, "jobs", id)
 }
 
-// Jobs lists the IDs present in the store, sorted.
+// Jobs lists the IDs present in the store, sorted — directory entries
+// plus jobs that so far exist only as journal records.
 func (s *Store) Jobs() ([]string, error) {
 	entries, err := s.fs.ReadDir(filepath.Join(s.root, "jobs"))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	seen := make(map[string]bool, len(entries))
 	var ids []string
 	for _, e := range entries {
 		if e.IsDir() {
 			ids = append(ids, e.Name())
+			seen[e.Name()] = true
 		}
 	}
+	s.mu.Lock()
+	for id, e := range s.overlay {
+		if !e.removed && !seen[id] {
+			ids = append(ids, id)
+		}
+	}
+	s.mu.Unlock()
 	sort.Strings(ids)
 	return ids, nil
 }
@@ -181,8 +206,19 @@ func (s *Store) PutSpec(id string, spec any) error {
 	return s.putJSON(id, specFile, data)
 }
 
-// Spec loads the raw spec JSON for a job.
+// Spec loads the raw spec JSON for a job, preferring journal-newer
+// data when the group-commit journal holds some.
 func (s *Store) Spec(id string) (json.RawMessage, error) {
+	s.mu.Lock()
+	if e := s.overlay[id]; e != nil && (e.removed || e.spec != nil) {
+		spec, removed := e.spec, e.removed
+		s.mu.Unlock()
+		if removed {
+			return nil, fmt.Errorf("store: spec for %s: %w", id, fs.ErrNotExist)
+		}
+		return spec, nil
+	}
+	s.mu.Unlock()
 	return s.getJSON(id, specFile)
 }
 
@@ -195,8 +231,19 @@ func (s *Store) PutState(id string, rec JobRecord) error {
 	return s.putJSON(id, stateFile, data)
 }
 
-// State loads the lifecycle record for a job.
+// State loads the lifecycle record for a job, preferring journal-newer
+// data when the group-commit journal holds some.
 func (s *Store) State(id string) (JobRecord, error) {
+	s.mu.Lock()
+	if e := s.overlay[id]; e != nil && (e.removed || e.state != nil) {
+		st, removed := e.state, e.removed
+		s.mu.Unlock()
+		if removed {
+			return JobRecord{}, fmt.Errorf("store: state for %s: %w", id, fs.ErrNotExist)
+		}
+		return *st, nil
+	}
+	s.mu.Unlock()
 	data, err := s.getJSON(id, stateFile)
 	if err != nil {
 		return JobRecord{}, err
@@ -210,12 +257,21 @@ func (s *Store) State(id string) (JobRecord, error) {
 
 // PutCheckpoint atomically replaces the job's checkpoint with data (a
 // serialized lb checkpoint stream, which carries its own CRC). The
-// data file is fsynced but the rename's directory entry is not: if a
-// crash forgets the rename, the previous checkpoint is still there and
-// still valid — a checkpoint replace may legitimately trade rename
-// durability for one less fsync per write, because resume correctness
-// never depends on having the *newest* checkpoint, only *a* verified
-// one. Lifecycle records (putJSON) keep full durability: a forgotten
+// sync mode depends on what a torn write would cost:
+//
+//   - A job's *first* checkpoint is written with no fsync (syncNone).
+//     If a crash tears or forgets it, verification fails and resume
+//     falls back to a fresh start from step 0 — exactly the state the
+//     write was improving on. Nothing is lost that durably existed.
+//   - An *overwrite* of an existing checkpoint fsyncs the data
+//     (syncData): a rename without a data flush could replace a good
+//     checkpoint with a torn one, destroying the fallback. The
+//     rename's directory entry is still not fsynced — if the crash
+//     forgets the rename the previous checkpoint remains, and resume
+//     correctness never depends on having the *newest* checkpoint,
+//     only *a* verified one.
+//
+// Lifecycle records (putJSON) keep full durability: a forgotten
 // terminal record would resurrect a job the user was told is gone.
 //
 // A failed write sweeps the job's temp files before returning: when
@@ -223,7 +279,11 @@ func (s *Store) State(id string) (JobRecord, error) {
 // the in-line cleanup failed too), the orphan must not linger until
 // the next boot-time sweep.
 func (s *Store) PutCheckpoint(id string, data []byte) error {
-	err := s.atomicWrite(id, checkpointFile, data, false)
+	mode := syncData
+	if prior, gerr := s.fs.Glob(filepath.Join(s.jobDir(id), checkpointFile)); gerr == nil && len(prior) == 0 {
+		mode = syncNone
+	}
+	err := s.atomicWrite(id, checkpointFile, data, mode)
 	if err != nil {
 		s.sweepTemps(id)
 	}
@@ -231,35 +291,36 @@ func (s *Store) PutCheckpoint(id string, data []byte) error {
 }
 
 // Checkpoint loads and fully verifies the job's latest checkpoint,
-// returning the stream and the solver step it captures. A missing,
-// truncated or corrupt file is an error — the caller falls back to a
+// returning a full-format stream and the solver step it captures. A
+// chain (full + deltas) is reconstructed and re-encoded; with no valid
+// deltas the raw full-checkpoint file is returned unchanged. A missing,
+// truncated or corrupt base is an error — the caller falls back to a
 // fresh start from step 0.
 func (s *Store) Checkpoint(id string) ([]byte, int, error) {
-	data, err := s.fs.ReadFile(filepath.Join(s.jobDir(id), checkpointFile))
+	c, err := s.readChain(id)
 	if err != nil {
-		return nil, 0, fmt.Errorf("store: %w", err)
+		return nil, 0, err
 	}
-	info, err := lb.VerifyCheckpointBytes(data)
+	if len(c.deltas) == 0 {
+		return c.base, c.step, nil
+	}
+	data, err := c.encode(id)
 	if err != nil {
-		return nil, 0, fmt.Errorf("store: checkpoint for %s: %w", id, err)
+		return nil, 0, err
 	}
-	return data, info.Step, nil
+	return data, c.step, nil
 }
 
-// CheckpointState loads and decodes the job's latest checkpoint in a
-// single pass (shape-vs-length fail-fast, CRC inside the decode). The
-// dispatch-time form of Checkpoint — the caller wants the installed
-// state, not the bytes, and resume then costs one full parse, not two.
+// CheckpointState loads and decodes the job's latest checkpoint chain
+// in a single pass (shape-vs-length fail-fast, CRC inside the decode,
+// deltas link-verified and applied in order). The dispatch-time form of
+// Checkpoint — the caller wants the installed state, not the bytes.
 func (s *Store) CheckpointState(id string) (*lb.CheckpointState, error) {
-	data, err := s.fs.ReadFile(filepath.Join(s.jobDir(id), checkpointFile))
+	c, err := s.readChain(id)
 	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, err
 	}
-	st, err := lb.DecodeCheckpointBytes(data)
-	if err != nil {
-		return nil, fmt.Errorf("store: checkpoint for %s: %w", id, err)
-	}
-	return st, nil
+	return c.reconstruct(id)
 }
 
 // Remove deletes a job's directory — the undo for a submission that
@@ -272,6 +333,18 @@ func (s *Store) Remove(id string) error {
 	if frozen {
 		return nil
 	}
+	if err := s.journalWriteGate(id, "remove"); err != nil {
+		return err
+	}
+	// With the journal enabled the tombstone must be durable before the
+	// files go: the journal may still hold this job's submit record, and
+	// a crash before the next journal truncation would otherwise replay
+	// it and resurrect a job the caller was told is gone.
+	if s.jn != nil {
+		if _, err := s.appendRecord(journalRec{Op: "remove", ID: id}, true); err != nil {
+			return err
+		}
+	}
 	if err := s.fs.RemoveAll(s.jobDir(id)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -281,11 +354,27 @@ func (s *Store) Remove(id string) error {
 	return s.syncDir(filepath.Join(s.root, "jobs"))
 }
 
+// journalWriteGate refuses spec/state/remove writes while an
+// unreplayed journal sits on disk (see jnStuck): per-job files written
+// behind it would be rolled back by the eventual replay.
+func (s *Store) journalWriteGate(id, what string) error {
+	s.mu.Lock()
+	stuck := s.jnStuck
+	s.mu.Unlock()
+	if stuck {
+		return fmt.Errorf("store: unreplayed journal present; refusing %s write for %s", what, id)
+	}
+	return nil
+}
+
 // putJSON appends the CRC trailer and writes atomically with full
 // directory durability.
 func (s *Store) putJSON(id, name string, payload []byte) error {
+	if err := s.journalWriteGate(id, name); err != nil {
+		return err
+	}
 	trailer := fmt.Sprintf("%s%016x\n", crcTrailerPrefix, crc64.Checksum(payload, crcTable))
-	return s.atomicWrite(id, name, append(payload, trailer...), true)
+	return s.atomicWrite(id, name, append(payload, trailer...), syncAll)
 }
 
 // getJSON reads a JSON file, verifies and strips the CRC trailer.
@@ -309,22 +398,41 @@ func (s *Store) getJSON(id, name string) ([]byte, error) {
 	return payload, nil
 }
 
-// atomicWrite writes data to jobs/<id>/<name> via temp file + fsync +
-// rename, creating the job directory on first use. syncEntries governs
-// rename durability: true fsyncs the directory entries too (the rename
-// itself and, on a job's first-ever write, the directory's existence
-// in the parent); false stops after the data fsync, accepting that a
-// power loss may keep the previous file — only acceptable when the
-// previous file is an equally valid answer (checkpoint replaces).
-func (s *Store) atomicWrite(id, name string, data []byte, syncEntries bool) error {
-	err := s.atomicWriteFile(id, name, data, syncEntries)
+// Durability modes for atomicWrite, strongest to weakest. Every mode
+// is atomic against concurrent readers (temp file + rename); they
+// differ only in what survives a power loss.
+const (
+	// syncAll fsyncs the data and the directory entries: the write is
+	// fully durable once atomicWrite returns. For records whose loss
+	// changes meaning (lifecycle JSON — a forgotten terminal record
+	// would resurrect a job the user was told is gone).
+	syncAll = iota
+	// syncData fsyncs the data but not the rename: a power loss may
+	// keep the previous file. Only acceptable when the previous file
+	// is an equally valid answer (checkpoint replaces).
+	syncData
+	// syncNone fsyncs nothing: a power loss may keep the previous
+	// file, a torn tail, or nothing. Only acceptable when the reader
+	// CRC-verifies and has a sound fallback for every one of those
+	// outcomes (delta chain members — a bad tail truncates the chain
+	// to the previous verified point). What it buys: no disk flush at
+	// all on the write path, which matters because concurrent fsyncs
+	// convoy on the filesystem journal.
+	syncNone
+)
+
+// atomicWrite writes data to jobs/<id>/<name> via temp file + rename,
+// creating the job directory on first use, with the durability the
+// mode asks for.
+func (s *Store) atomicWrite(id, name string, data []byte, mode int) error {
+	err := s.atomicWriteFile(id, name, data, mode)
 	if err != nil {
 		s.log.Warn("store write failed", "job", id, "file", name, "err", err)
 	}
 	return err
 }
 
-func (s *Store) atomicWriteFile(id, name string, data []byte, syncEntries bool) error {
+func (s *Store) atomicWriteFile(id, name string, data []byte, mode int) error {
 	s.mu.Lock()
 	frozen := s.frozen
 	s.mu.Unlock()
@@ -344,9 +452,11 @@ func (s *Store) atomicWriteFile(id, name string, data []byte, syncEntries bool) 
 		tmp.Close()
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: %w", err)
+	if mode != syncNone {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: %w", err)
+		}
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -354,7 +464,7 @@ func (s *Store) atomicWriteFile(id, name string, data []byte, syncEntries bool) 
 	if err := s.fs.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if !syncEntries {
+	if mode != syncAll {
 		return nil
 	}
 	// The rename (and, on the job's first write, the directory itself)
