@@ -61,6 +61,15 @@ func main() {
 	checkpointDirtyMax := flag.Float64("checkpoint-dirty-max", 0, "dirty-tile ratio above which a delta falls back to a full checkpoint (0 = 1.0, negative = fulls only)")
 	checkpointBudget := flag.Float64("checkpoint-budget", 0, "cap per-job checkpoint write time to this fraction of its runtime (0 = 0.05, negative = no cap)")
 	journalDelay := flag.Duration("journal-delay", 0, "group-commit bounded-latency window for the submit/lifecycle journal (0 = commit as soon as the writer is free)")
+	authKeys := flag.String("auth-keys", "", "per-tenant API key file: 'tenant key [max_active=N] [rate=R] [burst=B]' per line (empty = no auth, everyone is anonymous)")
+	maxActive := flag.Int("max-active", 0, "default per-tenant cap on queued+running jobs (0 = unlimited)")
+	submitRate := flag.Float64("submit-rate", 0, "default per-tenant submit rate limit in jobs/sec (0 = unlimited)")
+	submitBurst := flag.Int("submit-burst", 0, "default per-tenant submit burst size (0 = rate rounded up)")
+	memLimit := flag.Int64("mem-limit", 0, "shed new submissions while Go heap use exceeds this many bytes (0 = disabled)")
+	storeRetain := flag.Int("store-retain", 0, "keep at most this many terminal jobs in the store, GCing the oldest (0 = keep all)")
+	storeRetainAge := flag.Duration("store-retain-age", 0, "GC terminal jobs older than this (0 = keep forever)")
+	watchdogStall := flag.Duration("watchdog-stall", 2*time.Minute, "flag a running job as stalled after this long without step progress (0 = watchdog off)")
+	watchdogStrikes := flag.Int("watchdog-strikes", 3, "consecutive stall flags before the watchdog requeues the job (0 = flag only, never requeue)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled; keep it on loopback)")
 	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown window")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
@@ -73,11 +82,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tenantCfgs []service.TenantConfig
+	if *authKeys != "" {
+		if tenantCfgs, err = service.LoadAuthKeys(*authKeys); err != nil {
+			log.Error("loading auth keys failed", "err", err)
+			os.Exit(1)
+		}
+		log.Info("auth enabled", "tenants", len(tenantCfgs))
+	}
+
 	if *pprofAddr != "" {
 		// Opt-in profiling endpoint, separate from the API listener so
-		// operators can firewall it independently.
+		// operators can firewall it independently. Timeouts match the
+		// API server's: a stuck profile reader must not pin the
+		// connection forever. WriteTimeout is generous because CPU
+		// profiles stream for their full -seconds duration.
+		pprofSrv := &http.Server{
+			Addr:              *pprofAddr,
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      5 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+			MaxHeaderBytes:    64 << 10,
+		}
 		go func() {
-			log.Error("pprof listener exited", "err", http.ListenAndServe(*pprofAddr, nil))
+			log.Error("pprof listener exited", "err", pprofSrv.ListenAndServe())
 		}()
 		log.Info("pprof enabled", "url", fmt.Sprintf("http://%s/debug/pprof/", *pprofAddr))
 	}
@@ -105,7 +134,18 @@ func main() {
 		CheckpointDirtyMax:  *checkpointDirtyMax,
 		CheckpointBudget:    *checkpointBudget,
 		JournalDelay:        *journalDelay,
-		Logger:              log,
+		AuthKeys:            tenantCfgs,
+		TenantDefaults: service.TenantLimits{
+			MaxActive: *maxActive,
+			Rate:      *submitRate,
+			Burst:     *submitBurst,
+		},
+		MemLimit:        *memLimit,
+		StoreRetain:     *storeRetain,
+		StoreRetainAge:  *storeRetainAge,
+		WatchdogStall:   *watchdogStall,
+		WatchdogStrikes: *watchdogStrikes,
+		Logger:          log,
 	})
 	if st != nil {
 		log.Info("store recovered", "data_dir", *dataDir,

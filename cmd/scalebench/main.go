@@ -171,12 +171,36 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos soak: first fault-injection seed")
 	chaosSeeds := flag.Int("chaos-seeds", 1, "chaos soak: number of consecutive seeds to sweep")
 	chaosCases := flag.Int("chaos-cases", 0, "chaos soak: cap on injected cases per fault kind (0 = every op of the reference run)")
+	overloadMode := flag.Bool("overload", false, "run the admission-control overload burst instead of the scaling benches")
+	overloadClients := flag.String("overload-clients", "", "comma-separated submitter counts for the overload burst (empty = 4,16)")
+	overloadSubmits := flag.Int("overload-submits", 0, "submissions per overload client (0 = 32)")
 	flag.Parse()
 
 	if *chaosMode {
 		if err := chaosSoak(os.Stdout, *chaosSeed, *chaosSeeds, *chaosCases); err != nil {
 			fail(err)
 		}
+		return
+	}
+
+	if *overloadMode {
+		var clients []int
+		if *overloadClients != "" {
+			for _, s := range strings.Split(*overloadClients, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || v < 1 {
+					fmt.Fprintln(os.Stderr, "scalebench: bad overload client count:", s)
+					os.Exit(2)
+				}
+				clients = append(clients, v)
+			}
+		}
+		fmt.Println("== service: admission-control overload burst ==")
+		orows, err := experiments.OverloadSweep(clients, *overloadSubmits)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatOverload(orows))
 		return
 	}
 

@@ -72,6 +72,25 @@ func TestChaosTransientErrors(t *testing.T) { kindSweep(t, faultfs.FaultErr) }
 // the atomic-rename discipline keeps every visible file whole.
 func TestChaosShortWrites(t *testing.T) { kindSweep(t, faultfs.FaultShortWrite) }
 
+// TestChaosENOSPC: a disk that fills mid-run must degrade durability —
+// the job finishes bit-exact — and once space is freed the probe must
+// restore persistence well enough to survive a power cut.
+func TestChaosENOSPC(t *testing.T) {
+	t.Cleanup(leaktest.Check(t))
+	cfg := chaosConfig(t)
+	if cfg.At == 0 {
+		cfg.MaxCases = 8
+	}
+	rep, err := RunENOSPC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("chaos: %d/%d ENOSPC cases fired over %d reference ops", rep.Fired, rep.Cases, rep.RefOps)
+	if cfg.At == 0 && rep.Fired == 0 {
+		t.Fatalf("no ENOSPC fault fired across %d cases", rep.Cases)
+	}
+}
+
 // TestChaosTornWrites: silent single-byte corruption must be *caught*
 // (CRC on journal records, checksum verify on checkpoints) and fallen
 // back from — never trusted.

@@ -127,8 +127,28 @@ type Config struct {
 	// inlet (cardiac waveform; 0 amplitude = steady).
 	PulseAmp    float64
 	PulsePeriod float64
+	// StartPaused parks the run loop before the first step: the solver
+	// immediately waits for steering commands (resume, quit, frames)
+	// exactly as a mid-run pause does. Recovery uses it to bring back
+	// jobs that were paused when the daemon stopped, instead of
+	// silently resuming them. Requires a Controller (or SteerAddr);
+	// without a steering queue nothing could ever resume the run, so
+	// the flag is ignored.
+	StartPaused bool
+	// IoletOverrides re-applies steered iolet densities on every rank
+	// before the first step, after any checkpoint restore. This is how
+	// a restart preserves set-iolet commands issued *after* the last
+	// checkpoint was taken (the checkpoint itself carries the densities
+	// as of its own step). Out-of-range indices fail Run up front.
+	IoletOverrides []IoletOverride
 	// Seed makes partitioning deterministic.
 	Seed int64
+}
+
+// IoletOverride pins one iolet's steered base density at start-up.
+type IoletOverride struct {
+	Iolet   int
+	Density float64
 }
 
 func (c Config) withDefaults() Config {
@@ -261,6 +281,11 @@ func (s *Simulation) Run(totalSteps int) error {
 		}
 		startStep = info.Step
 	}
+	for _, ov := range cfg.IoletOverrides {
+		if ov.Iolet < 0 || ov.Iolet >= len(s.Dom.Iolets) {
+			return fmt.Errorf("core: iolet override %d out of range [0,%d)", ov.Iolet, len(s.Dom.Iolets))
+		}
+	}
 
 	s.RT.Run(func(c *par.Comm) {
 		// Each rank tracks the current partition locally; repartitioning
@@ -295,9 +320,17 @@ func (s *Simulation) Run(totalSteps int) error {
 				panic(err)
 			}
 		}
+		// Steered densities survive restarts: every rank applies the
+		// same overrides (validated above) after the restore, so the
+		// state stays collective-identical.
+		for _, ov := range cfg.IoletOverrides {
+			if err := d.SetIoletDensity(ov.Iolet, ov.Density); err != nil {
+				panic(err)
+			}
+		}
 		master := c.Rank() == 0
 		req := cfg.VizRequest
-		paused := false
+		paused := cfg.StartPaused && s.Ctrl != nil
 		quit := false
 		// lastSnapStep is per-rank local but evolves identically on
 		// every rank, keeping snapshot gathers collective.

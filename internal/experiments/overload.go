@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// OverloadRow is one admission-control burst: Clients goroutines fire
+// Submits submissions each at a manager whose queue, per-tenant quota
+// and token bucket are all far smaller than the burst. The point of
+// the measurement is the shape of the shedding — every submission is
+// either accepted or rejected with a typed admission error, submit
+// latency stays bounded (shedding is cheap), and no accepted job is
+// harmed by the overload.
+type OverloadRow struct {
+	// Clients is the concurrent submitter count; Submits the attempts
+	// per client.
+	Clients int
+	Submits int
+	// Accepted..Shed partition the attempts: admitted, refused by the
+	// concurrent-job quota, refused by the rate limiter, refused by
+	// queue/memory overload.
+	Accepted int64
+	Quota    int64
+	Rate     int64
+	Shed     int64
+	// Failed counts accepted jobs that ended in a failed state — the
+	// graceful-degradation contract requires 0.
+	Failed int64
+	// Wall is first submit → all accepted jobs terminal.
+	Wall time.Duration
+	// P99Submit is the 99th-percentile submit call latency, accepted
+	// and rejected alike: rejections must be fast, not queued.
+	P99Submit time.Duration
+}
+
+// overloadSpec keeps accepted jobs short so the burst drains quickly.
+func overloadSpec() service.JobSpec {
+	return service.JobSpec{Preset: "pipe", Steps: 32, VizEvery: -1}
+}
+
+// OverloadSweep runs one overload burst per client count. Shedding is
+// forced structurally: the tenant quota tracks the worker count and
+// the token bucket refills far slower than the burst arrives, so a
+// large slice of every burst must be refused — and refused cleanly.
+func OverloadSweep(clients []int, submits int) ([]OverloadRow, error) {
+	if len(clients) == 0 {
+		clients = []int{4, 16}
+	}
+	if submits <= 0 {
+		submits = 32
+	}
+	rows := make([]OverloadRow, 0, len(clients))
+	for _, c := range clients {
+		row, err := overloadPoint(c, submits)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func overloadPoint(clients, submits int) (OverloadRow, error) {
+	const tenant = "load"
+	metrics := &service.Metrics{}
+	mgr := service.NewManagerOpts(service.Options{
+		Workers: 2, QueueCap: 8, Metrics: metrics,
+		AuthKeys: []service.TenantConfig{
+			{Name: tenant, Key: "k-load", MaxActive: 4, Rate: 50, Burst: 8},
+		},
+	})
+	defer mgr.Close()
+
+	row := OverloadRow{Clients: clients, Submits: submits}
+	var (
+		mu        sync.Mutex
+		accepted  []*service.Job
+		latencies []time.Duration
+		firstErr  error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < submits; i++ {
+				t0 := time.Now()
+				j, err := mgr.SubmitAs(tenant, overloadSpec())
+				lat := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				switch {
+				case err == nil:
+					row.Accepted++
+					accepted = append(accepted, j)
+				case errors.Is(err, service.ErrQuotaExceeded):
+					row.Quota++
+				case errors.Is(err, service.ErrRateLimited):
+					row.Rate++
+				case errors.Is(err, service.ErrQueueFull), errors.Is(err, service.ErrOverloaded):
+					row.Shed++
+				default:
+					if firstErr == nil {
+						firstErr = err
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return row, fmt.Errorf("overload: submit failed with a non-admission error: %w", firstErr)
+	}
+	if rejected := row.Quota + row.Rate + row.Shed; rejected == 0 {
+		return row, fmt.Errorf("overload: burst of %d submits was never shed; admission control is not engaging",
+			int64(clients)*int64(submits))
+	}
+
+	// Every accepted job must finish cleanly despite the shed storm.
+	deadline := time.Now().Add(2 * time.Minute)
+	for _, j := range accepted {
+		for !j.State().Terminal() {
+			if time.Now().After(deadline) {
+				return row, fmt.Errorf("overload: job %s stuck in %s", j.ID, j.State())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if j.State() == service.StateFailed {
+			row.Failed++
+		}
+	}
+	row.Wall = time.Since(start)
+	if row.Failed > 0 {
+		return row, fmt.Errorf("overload: %d accepted jobs failed under shed load, want 0", row.Failed)
+	}
+
+	sort.Slice(latencies, func(i, k int) bool { return latencies[i] < latencies[k] })
+	row.P99Submit = latencies[len(latencies)*99/100]
+	return row, nil
+}
+
+// FormatOverload renders the overload table.
+func FormatOverload(rows []OverloadRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s  %8s  %9s  %7s  %7s  %7s  %7s  %12s  %12s\n",
+		"clients", "submits", "accepted", "quota", "rate", "shed", "failed", "wall", "p99 submit")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d  %8d  %9d  %7d  %7d  %7d  %7d  %12s  %12s\n",
+			r.Clients, r.Submits, r.Accepted, r.Quota, r.Rate, r.Shed, r.Failed,
+			r.Wall.Round(time.Millisecond), r.P99Submit.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -23,6 +24,12 @@ var (
 	// fired (or CrashNow was called) until PowerCycle — the process-side
 	// view of the machine losing power.
 	ErrCrashed = errors.New("faultfs: filesystem crashed")
+	// ErrNoSpace is returned by space-allocating operations while the
+	// filesystem is full (FaultENOSPC fired, or SetFull). It wraps
+	// syscall.ENOSPC so errors.Is(err, syscall.ENOSPC) treats injected
+	// and real disk-full failures identically — which is exactly how
+	// the service layer's degradation policy detects them.
+	ErrNoSpace = fmt.Errorf("faultfs: disk full: %w", syscall.ENOSPC)
 )
 
 // FaultKind selects what happens at the faulted operation.
@@ -48,6 +55,14 @@ const (
 	// PowerCycle then discards all un-fsynced data and directory
 	// entries (un-synced file tails are torn at a seeded length).
 	FaultCrash
+	// FaultENOSPC fills the disk at this operation — and, unlike the
+	// one-shot kinds, *stays* full: every subsequent space-allocating
+	// operation (writes, file creation, appends, mkdir) fails with
+	// ErrNoSpace, while deletes, renames, syncs and reads keep working
+	// (freeing space must be possible, or no GC could ever recover the
+	// disk). SetFull(false) clears it — the "operator freed space"
+	// lever in tests.
+	FaultENOSPC
 )
 
 // String names the kind for logs and reproduction lines.
@@ -63,13 +78,15 @@ func (k FaultKind) String() string {
 		return "torn"
 	case FaultCrash:
 		return "crash"
+	case FaultENOSPC:
+		return "enospc"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
 
 // ParseFaultKind inverts String (for CLI flags).
 func ParseFaultKind(s string) (FaultKind, error) {
-	for _, k := range []FaultKind{FaultNone, FaultErr, FaultShortWrite, FaultTornWrite, FaultCrash} {
+	for _, k := range []FaultKind{FaultNone, FaultErr, FaultShortWrite, FaultTornWrite, FaultCrash, FaultENOSPC} {
 		if k.String() == s {
 			return k, nil
 		}
@@ -111,9 +128,14 @@ type Mem struct {
 	ops     int64
 	faults  []Fault // sorted by Op, consumed as they fire
 	crashed bool
-	oplog   []string
-	fired   []string // descriptions of faults that fired, for repro messages
-	tmpSeq  int
+	// full models a disk with no free space: space-allocating ops fail
+	// with ErrNoSpace until SetFull(false). Set by FaultENOSPC firing
+	// or SetFull(true); space-freeing ops (remove, rename) and reads
+	// keep working.
+	full   bool
+	oplog  []string
+	fired  []string // descriptions of faults that fired, for repro messages
+	tmpSeq int
 }
 
 // NewMem returns an empty in-memory filesystem. All torn-write and
@@ -156,6 +178,22 @@ func (m *Mem) Fired() []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return append([]string(nil), m.fired...)
+}
+
+// SetFull sets or clears the disk-full state out of band: the test
+// harness's "space freed" (or "disk filled") lever, equivalent to a
+// FaultENOSPC firing except not tied to an op index.
+func (m *Mem) SetFull(full bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.full = full
+}
+
+// Full reports whether the filesystem is currently out of space.
+func (m *Mem) Full() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.full
 }
 
 // Crashed reports whether the filesystem is dead (crash fault or
@@ -237,8 +275,12 @@ func (*memFile) isMemNode() {}
 // for it. It returns the fault kind the caller must apply (FaultNone,
 // FaultShortWrite or FaultTornWrite; write-only kinds degrade to an
 // error for non-write ops via the returned error) and/or an error that
-// aborts the operation. Caller holds m.mu.
-func (m *Mem) beginLocked(isWrite bool, desc string) (FaultKind, error) {
+// aborts the operation. alloc marks operations that consume disk
+// space (writes, creations, appends, mkdir): they fail with
+// ErrNoSpace while the disk is full, whereas space-freeing and
+// metadata-only ops (remove, rename, sync) still succeed. Caller
+// holds m.mu.
+func (m *Mem) beginLocked(isWrite, alloc bool, desc string) (FaultKind, error) {
 	if m.crashed {
 		return FaultNone, ErrCrashed
 	}
@@ -259,12 +301,21 @@ func (m *Mem) beginLocked(isWrite bool, desc string) (FaultKind, error) {
 			return FaultNone, ErrCrashed
 		case FaultErr:
 			return FaultNone, ErrInjected
+		case FaultENOSPC:
+			m.full = true
+			if alloc {
+				return FaultNone, ErrNoSpace
+			}
+			return FaultNone, nil
 		case FaultShortWrite, FaultTornWrite:
 			if isWrite {
 				return f.Kind, nil
 			}
 			return FaultNone, ErrInjected
 		}
+	}
+	if m.full && alloc {
+		return FaultNone, ErrNoSpace
 	}
 	return FaultNone, nil
 }
@@ -316,7 +367,7 @@ func pathErr(op, name string, err error) error {
 func (m *Mem) MkdirAll(p string, _ fs.FileMode) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, err := m.beginLocked(false, "mkdirall "+p); err != nil {
+	if _, err := m.beginLocked(false, true, "mkdirall "+p); err != nil {
 		return pathErr("mkdir", p, err)
 	}
 	_, err := m.lookupDirLocked(norm(p), true)
@@ -338,7 +389,7 @@ func (m *Mem) CreateTemp(dir, pattern string) (File, error) {
 	m.tmpSeq++
 	name := strings.Replace(pattern, "*", fmt.Sprintf("%d", m.tmpSeq), 1)
 	full := path.Join(filepath.ToSlash(dir), name)
-	if _, err := m.beginLocked(false, "create "+full); err != nil {
+	if _, err := m.beginLocked(false, true, "create "+full); err != nil {
 		return nil, pathErr("createtemp", dir, err)
 	}
 	if _, exists := d.entries[name]; exists {
@@ -359,7 +410,7 @@ func (m *Mem) OpenAppend(name string) (File, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	full := filepath.ToSlash(name)
-	if _, err := m.beginLocked(false, "openappend "+full); err != nil {
+	if _, err := m.beginLocked(false, true, "openappend "+full); err != nil {
 		return nil, pathErr("openappend", name, err)
 	}
 	parts := norm(name)
@@ -388,7 +439,7 @@ func (m *Mem) OpenAppend(name string) (File, error) {
 func (m *Mem) Rename(oldpath, newpath string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, err := m.beginLocked(false, "rename "+filepath.ToSlash(oldpath)+" -> "+filepath.ToSlash(newpath)); err != nil {
+	if _, err := m.beginLocked(false, false, "rename "+filepath.ToSlash(oldpath)+" -> "+filepath.ToSlash(newpath)); err != nil {
 		return pathErr("rename", oldpath, err)
 	}
 	op, np := norm(oldpath), norm(newpath)
@@ -416,7 +467,7 @@ func (m *Mem) Rename(oldpath, newpath string) error {
 func (m *Mem) Remove(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, err := m.beginLocked(false, "remove "+filepath.ToSlash(name)); err != nil {
+	if _, err := m.beginLocked(false, false, "remove "+filepath.ToSlash(name)); err != nil {
 		return pathErr("remove", name, err)
 	}
 	parts := norm(name)
@@ -439,7 +490,7 @@ func (m *Mem) Remove(name string) error {
 func (m *Mem) RemoveAll(p string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, err := m.beginLocked(false, "removeall "+filepath.ToSlash(p)); err != nil {
+	if _, err := m.beginLocked(false, false, "removeall "+filepath.ToSlash(p)); err != nil {
 		return pathErr("removeall", p, err)
 	}
 	parts := norm(p)
@@ -568,7 +619,7 @@ func (m *Mem) Glob(pattern string) ([]string, error) {
 func (m *Mem) SyncDir(dir string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, err := m.beginLocked(false, "syncdir "+filepath.ToSlash(dir)); err != nil {
+	if _, err := m.beginLocked(false, false, "syncdir "+filepath.ToSlash(dir)); err != nil {
 		return pathErr("syncdir", dir, err)
 	}
 	d, err := m.lookupDirLocked(norm(dir), false)
@@ -599,7 +650,7 @@ func (h *memHandle) Write(p []byte) (int, error) {
 	if h.closed {
 		return 0, pathErr("write", h.path, fs.ErrClosed)
 	}
-	kind, err := h.m.beginLocked(true, fmt.Sprintf("write %s len=%d", h.path, len(p)))
+	kind, err := h.m.beginLocked(true, true, fmt.Sprintf("write %s len=%d", h.path, len(p)))
 	if err != nil {
 		return 0, pathErr("write", h.path, err)
 	}
@@ -628,7 +679,7 @@ func (h *memHandle) Sync() error {
 	if h.closed {
 		return pathErr("sync", h.path, fs.ErrClosed)
 	}
-	if _, err := h.m.beginLocked(false, "sync "+h.path); err != nil {
+	if _, err := h.m.beginLocked(false, false, "sync "+h.path); err != nil {
 		return pathErr("sync", h.path, err)
 	}
 	h.f.durable = append(h.f.durable[:0:0], h.f.data...)

@@ -1,0 +1,92 @@
+package guard
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// TokenBucket is a hand-rolled token-bucket rate limiter (no
+// dependency on x/time): capacity burst, refilled at rate tokens per
+// second, continuously. The zero value is unusable; build with
+// NewTokenBucket. Safe for concurrent use.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket returns a full bucket. rate <= 0 means unlimited
+// (Allow always succeeds); burst < 1 is clamped to 1.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// Allow takes one token if available, reporting whether it did.
+func (b *TokenBucket) Allow() bool { return b.AllowAt(time.Now()) }
+
+// AllowAt is Allow with an injected clock, for deterministic tests.
+// now values must be non-decreasing per bucket.
+func (b *TokenBucket) AllowAt(now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		return true
+	}
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// MemWatermark answers "is the process heap above the shed
+// threshold?" cheaply enough to sit on the submit path:
+// runtime.ReadMemStats (which stops the world briefly) is sampled at
+// most once per samplePeriod and the answer cached in between.
+type MemWatermark struct {
+	limit uint64 // bytes; 0 disables the check entirely
+
+	mu       sync.Mutex
+	sampled  time.Time
+	exceeded bool
+}
+
+const memSamplePeriod = 500 * time.Millisecond
+
+// NewMemWatermark returns a watermark at limitBytes (0 = disabled).
+func NewMemWatermark(limitBytes uint64) *MemWatermark {
+	return &MemWatermark{limit: limitBytes}
+}
+
+// Exceeded reports whether heap allocation was above the limit at the
+// most recent sample (refreshing the sample if stale).
+func (w *MemWatermark) Exceeded() bool {
+	if w == nil || w.limit == 0 {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if now := time.Now(); now.Sub(w.sampled) >= memSamplePeriod {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		w.exceeded = ms.HeapAlloc > w.limit
+		w.sampled = now
+	}
+	return w.exceeded
+}

@@ -1,0 +1,200 @@
+package guard
+
+import (
+	"errors"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// IsNoSpace reports whether err is a disk-full failure — the real
+// syscall.ENOSPC or an injected fault wrapping it. Disk-full trips a
+// Degrader immediately: retrying the write cannot succeed until space
+// is freed, so counting toward a failure threshold only delays the
+// inevitable while failing jobs in the meantime.
+func IsNoSpace(err error) bool {
+	return errors.Is(err, syscall.ENOSPC)
+}
+
+// Degrader is the store-error escalation policy: it watches write
+// outcomes and decides when persistence should be suspended (degraded
+// mode) and when it is safe to resume. The owner keeps running — jobs
+// step, snapshots publish — with durability traded away until the
+// disk recovers.
+//
+// Tripping: an ENOSPC write fails the store immediately; any other
+// write error trips after After consecutive failures (a lone EIO is
+// retried, a dying disk is not). While degraded, a probe goroutine
+// re-tests the store every ProbeEvery; the first successful probe
+// restores persistence. onChange fires on every transition (outside
+// the Degrader's lock, so it may call back in).
+type Degrader struct {
+	// After is the consecutive-failure threshold for non-ENOSPC errors.
+	after int
+	// probeEvery is the re-test interval while degraded.
+	probeEvery time.Duration
+	// probe re-tests the store (e.g. a tiny write+remove in the data
+	// dir); nil means no self-healing — only Restore() re-enables.
+	probe func() error
+	// onChange observes transitions: degraded=true with the tripping
+	// error, degraded=false with nil. May be nil.
+	onChange func(degraded bool, cause error)
+
+	mu       sync.Mutex
+	degraded bool
+	consec   int
+	cause    error
+	probing  bool
+	closed   bool
+	wake     chan struct{} // closed to stop the probe goroutine
+	wg       sync.WaitGroup
+}
+
+// NewDegrader builds a policy. after <= 0 defaults to 3; probeEvery
+// <= 0 defaults to 5s. probe and onChange may be nil.
+func NewDegrader(after int, probeEvery time.Duration, probe func() error, onChange func(bool, error)) *Degrader {
+	if after <= 0 {
+		after = 3
+	}
+	if probeEvery <= 0 {
+		probeEvery = 5 * time.Second
+	}
+	return &Degrader{after: after, probeEvery: probeEvery, probe: probe, onChange: onChange}
+}
+
+// Degraded reports whether persistence is currently suspended. Nil-safe
+// (a nil Degrader is never degraded), so callers without a store can
+// skip the policy entirely.
+func (d *Degrader) Degraded() bool {
+	if d == nil {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.degraded
+}
+
+// Cause returns the error that tripped the current degraded episode
+// (nil when healthy).
+func (d *Degrader) Cause() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cause
+}
+
+// WriteOK records a successful store write, resetting the consecutive
+// failure count. Nil-safe no-op.
+func (d *Degrader) WriteOK() {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.consec = 0
+	d.mu.Unlock()
+}
+
+// WriteFailed records a failed store write and returns whether the
+// store is (now) degraded. ENOSPC trips immediately; other errors
+// after the consecutive-failure threshold. Nil-safe (always false).
+func (d *Degrader) WriteFailed(err error) bool {
+	if d == nil {
+		return false
+	}
+	d.mu.Lock()
+	if d.degraded || d.closed {
+		degraded := d.degraded
+		d.mu.Unlock()
+		return degraded
+	}
+	d.consec++
+	if !IsNoSpace(err) && d.consec < d.after {
+		d.mu.Unlock()
+		return false
+	}
+	d.degraded = true
+	d.cause = err
+	startProbe := d.probe != nil && !d.probing
+	if startProbe {
+		d.probing = true
+		d.wake = make(chan struct{}, 1)
+		d.wg.Add(1)
+	}
+	d.mu.Unlock()
+	if startProbe {
+		go d.probeLoop()
+	}
+	if d.onChange != nil {
+		d.onChange(true, err)
+	}
+	return true
+}
+
+// Restore re-enables persistence (idempotent). Called by the probe on
+// success, or directly by an operator path.
+func (d *Degrader) Restore() {
+	d.mu.Lock()
+	if !d.degraded {
+		d.mu.Unlock()
+		return
+	}
+	d.degraded = false
+	d.cause = nil
+	d.consec = 0
+	stop := d.wake
+	d.mu.Unlock()
+	if stop != nil {
+		// Wake the probe goroutine so it notices the restore and exits;
+		// safe against double close via the probing flag it checks.
+		select {
+		case stop <- struct{}{}:
+		default:
+		}
+	}
+	if d.onChange != nil {
+		d.onChange(false, nil)
+	}
+}
+
+// probeLoop re-tests the store until a probe succeeds (→ Restore) or
+// the Degrader closes.
+func (d *Degrader) probeLoop() {
+	defer d.wg.Done()
+	t := time.NewTicker(d.probeEvery)
+	defer t.Stop()
+	for {
+		d.mu.Lock()
+		stop := d.closed || !d.degraded
+		wake := d.wake
+		if stop {
+			d.probing = false
+		}
+		d.mu.Unlock()
+		if stop {
+			return
+		}
+		select {
+		case <-t.C:
+		case <-wake:
+			continue // re-check state; Restore/Close poked us
+		}
+		if err := d.probe(); err == nil {
+			d.Restore()
+		}
+	}
+}
+
+// Close stops the probe goroutine (if running) and freezes the
+// Degrader in its current state.
+func (d *Degrader) Close() {
+	d.mu.Lock()
+	d.closed = true
+	wake := d.wake
+	d.mu.Unlock()
+	if wake != nil {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	}
+	d.wg.Wait()
+}

@@ -1,0 +1,48 @@
+// Package guard is the fault-containment toolkit under the job
+// manager: panic capture that turns a crashing goroutine into an
+// error scoped to one job, a store-degradation policy that trades
+// durability for availability under disk pressure, and the admission
+// primitives (token bucket, memory watermark) that let the daemon
+// shed load instead of falling over.
+//
+// The package has no dependencies beyond the standard library and no
+// knowledge of jobs or HTTP: internal/service threads it through the
+// manager, the checkpoint writer and the API layer.
+package guard
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError wraps a recovered panic value with the operation that
+// panicked and the goroutine stack captured at the recovery point.
+// It is what Capture returns, and what the manager records in the
+// flight recorder when a solver is quarantined.
+type PanicError struct {
+	// Op names the guarded operation ("solver", "render", …).
+	Op string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the formatted goroutine stack at the recover site.
+	Stack []byte
+}
+
+// Error implements error. The stack is deliberately not included —
+// it can be kilobytes; callers log or record it separately.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("guard: panic in %s: %v", e.Op, e.Value)
+}
+
+// Capture runs fn, converting a panic into a *PanicError return so
+// the caller's goroutine — and every sibling job sharing the process
+// — survives. A nil return means fn completed; any other error is
+// fn's own.
+func Capture(op string, fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Op: op, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}

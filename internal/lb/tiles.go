@@ -1,6 +1,8 @@
 package lb
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -37,6 +39,21 @@ type tilePool struct {
 	// after an armed pass until the next one.
 	timing bool
 	tileNs []int64
+	// panics[w] captures a panic from worker w's tile so the pass can
+	// re-raise it on the stepping goroutine: a raw panic on a pool
+	// worker would kill the whole process *and* skip wg.Done, leaving
+	// step deadlocked. Each worker writes only its own slot; the
+	// WaitGroup edge publishes it to step.
+	panics []*tilePanic
+}
+
+// tilePanic carries a recovered tile-worker panic across the pool
+// barrier: the worker index, the original panic value, and the stack
+// at the worker's recovery point.
+type tilePanic struct {
+	worker int
+	value  any
+	stack  []byte
 }
 
 // newTilePool starts threads-1 worker goroutines (worker 0 is the
@@ -48,6 +65,7 @@ func newTilePool(threads, n int, kernel func(w, lo, hi int)) *tilePool {
 		kernel:  kernel,
 		wake:    make([]chan struct{}, threads),
 		tileNs:  make([]int64, threads),
+		panics:  make([]*tilePanic, threads),
 	}
 	for w := 1; w < threads; w++ {
 		p.wake[w] = make(chan struct{}, 1)
@@ -74,23 +92,43 @@ func (p *tilePool) runTile(w int) {
 
 func (p *tilePool) worker(w int) {
 	for range p.wake[w] {
-		p.runTile(w)
+		p.runTileGuarded(w)
 		p.wg.Done()
 	}
+}
+
+// runTileGuarded runs worker w's tile with a recover wrapper: a
+// panicking kernel is captured into panics[w] (wg.Done still runs, so
+// the pass barrier completes) and re-raised by step on the stepping
+// goroutine, where the rank runtime's own containment takes over.
+func (p *tilePool) runTileGuarded(w int) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.panics[w] = &tilePanic{worker: w, value: v, stack: debug.Stack()}
+		}
+	}()
+	p.runTile(w)
 }
 
 // step runs one full pass: workers 1..T-1 are woken, worker 0's tile
 // runs on the calling goroutine, and the call returns only when every
 // tile finished — the barrier the halo exchange and buffer swap rely
-// on.
+// on. A tile panic (any worker's) surfaces here as a panic on the
+// stepping goroutine with the worker's stack attached.
 func (p *tilePool) step() {
 	p.wg.Add(p.threads - 1)
 	for w := 1; w < p.threads; w++ {
 		p.wake[w] <- struct{}{}
 	}
-	p.runTile(0)
+	p.runTile(0) // worker 0 panics propagate directly on this goroutine
 	p.wg.Wait()
 	p.timing = false
+	for w := 1; w < p.threads; w++ {
+		if tp := p.panics[w]; tp != nil {
+			p.panics[w] = nil
+			panic(fmt.Errorf("lb: tile worker %d panicked: %v\n%s", tp.worker, tp.value, tp.stack))
+		}
+	}
 }
 
 // close parks the pool permanently: workers drain their wake channels

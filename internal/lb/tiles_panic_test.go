@@ -1,0 +1,78 @@
+package lb
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestTilePoolWorkerPanic: a panic inside a pool worker's tile must
+// re-raise on the stepping goroutine after the pass barrier (not kill
+// the process, not deadlock step), carry the worker's stack, and
+// leave the pool usable for subsequent passes.
+func TestTilePoolWorkerPanic(t *testing.T) {
+	var pass atomic.Int64
+	var tiles atomic.Int64
+	p := newTilePool(4, 128, func(w, lo, hi int) {
+		tiles.Add(1)
+		if w == 2 && pass.Load() == 0 {
+			panic("injected tile fault")
+		}
+	})
+	defer p.close()
+
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		p.step()
+	}()
+	if got == nil {
+		t.Fatal("worker panic did not propagate to step")
+	}
+	msg, ok := got.(error)
+	if !ok {
+		t.Fatalf("step re-panicked with %T, want error", got)
+	}
+	if !strings.Contains(msg.Error(), "tile worker 2") ||
+		!strings.Contains(msg.Error(), "injected tile fault") {
+		t.Fatalf("panic message = %q", msg)
+	}
+	if !strings.Contains(msg.Error(), "tiles_panic_test.go") {
+		t.Fatalf("panic does not carry the worker stack: %q", msg)
+	}
+
+	// The barrier completed: all four tiles ran despite the panic.
+	if n := tiles.Load(); n != 4 {
+		t.Fatalf("first pass ran %d tiles, want 4", n)
+	}
+
+	// The pool is not poisoned: a healthy pass still works.
+	pass.Store(1)
+	p.step()
+	if n := tiles.Load(); n != 8 {
+		t.Fatalf("second pass ran %d tiles in total, want 8", n)
+	}
+}
+
+// TestTilePoolWorkerZeroPanic: worker 0 runs on the stepping
+// goroutine, so its panic propagates directly; the parked workers
+// must remain drainable (close does not hang).
+func TestTilePoolWorkerZeroPanic(t *testing.T) {
+	p := newTilePool(2, 16, func(w, lo, hi int) {
+		if w == 0 {
+			panic("worker zero fault")
+		}
+	})
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		p.step()
+	}()
+	if got == nil {
+		t.Fatal("worker 0 panic did not propagate")
+	}
+	// wg accounting: the one pool worker finished its tile and called
+	// Done even though worker 0 panicked, so close returns cleanly.
+	p.wg.Wait()
+	p.close()
+}

@@ -44,6 +44,20 @@ const (
 	EvResume              = "resume"
 	EvDiverged            = "diverged"
 	EvTerminal            = "terminal"
+	// EvPanic records a quarantined solver panic: the job failed but
+	// the daemon kept serving. Detail carries the panic value; the full
+	// stack goes to the structured log.
+	EvPanic = "panic"
+	// EvWatchdogStall marks a running job the watchdog saw make no step
+	// progress for a full stall window; EvWatchdogRequeue marks the
+	// forced requeue after repeated strikes.
+	EvWatchdogStall   = "watchdog-stall"
+	EvWatchdogRequeue = "watchdog-requeue"
+	// EvStoreDegraded marks a job accepted without durability while the
+	// store was degraded under disk pressure; EvStoreRestored marks its
+	// record becoming durable again via the post-restore re-journal.
+	EvStoreDegraded = "store-degraded"
+	EvStoreRestored = "store-restored"
 )
 
 // Recorder is a fixed-size ring of Events — the per-job flight

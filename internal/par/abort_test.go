@@ -1,0 +1,61 @@
+package par
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunAbortsBlockedPeers: a rank that panics mid-collective must
+// not strand peers blocked in Recv — Run returns (re-panicking with
+// the root cause) instead of deadlocking on wg.Wait.
+func TestRunAbortsBlockedPeers(t *testing.T) {
+	rt := NewRuntime(4)
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		rt.Run(func(c *Comm) {
+			if c.Rank() == 2 {
+				panic("injected kernel fault")
+			}
+			// Every other rank parks on a message that will never come.
+			c.Recv(2, TagUser)
+		})
+	}()
+	var p any
+	select {
+	case p = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run deadlocked: peer ranks were not unwound after the panic")
+	}
+	rp, ok := p.(*RankPanic)
+	if !ok {
+		t.Fatalf("Run re-panicked with %T (%v), want *RankPanic", p, p)
+	}
+	if rp.Rank != 2 || rp.Value != "injected kernel fault" {
+		t.Fatalf("root cause = rank %d value %v, want rank 2", rp.Rank, rp.Value)
+	}
+	if !strings.Contains(string(rp.Stack), "abort_test.go") {
+		t.Fatalf("stack does not point at the panic site:\n%s", rp.Stack)
+	}
+	if rp.Error() == "" || !strings.Contains(rp.Error(), "rank 2") {
+		t.Fatalf("Error() = %q", rp.Error())
+	}
+}
+
+// TestRunCleanAfterAbortedRuntime: the abort flag is per-Run, not
+// permanent — a fresh Run on the same runtime works when no rank
+// panics (Run resets the flag on entry).
+func TestRunFlagResetsAcrossRuns(t *testing.T) {
+	rt := NewRuntime(2)
+	func() {
+		defer func() { recover() }()
+		rt.Run(func(c *Comm) { panic("boom") })
+	}()
+	// Ranks exchange one message; must not see a stale abort.
+	rt.Run(func(c *Comm) {
+		partner := 1 - c.Rank()
+		c.SendF64(partner, TagUser, []float64{1})
+		c.RecvF64(partner, TagUser)
+	})
+}

@@ -20,7 +20,9 @@ package par
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // TagUser is the first tag value available to applications; tags below
@@ -44,10 +46,14 @@ type mailbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	q    []message
+	// aborted is the runtime-shared abort flag: when set, get panics
+	// with abortPanic instead of blocking, so a dead peer cannot strand
+	// this rank in a collective forever (see Runtime.abort).
+	aborted *atomic.Bool
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{}
+func newMailbox(aborted *atomic.Bool) *mailbox {
+	mb := &mailbox{aborted: aborted}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
@@ -65,6 +71,9 @@ func (mb *mailbox) get(cid uint64, src, tag int) message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
+		if mb.aborted != nil && mb.aborted.Load() {
+			panic(abortPanic{})
+		}
 		for i, m := range mb.q {
 			if m.cid == cid && (src == AnySource || m.src == src) && m.tag == tag {
 				mb.q = append(mb.q[:i], mb.q[i+1:]...)
@@ -195,6 +204,9 @@ type Runtime struct {
 	boxes   []*mailbox
 	traffic *Traffic
 	pool    *bufPool
+	// aborted flips when a rank panics mid-Run; shared with every
+	// mailbox so blocked collectives unwind instead of deadlocking.
+	aborted atomic.Bool
 }
 
 // NewRuntime creates a runtime for size ranks.
@@ -209,7 +221,7 @@ func NewRuntime(size int) *Runtime {
 		pool:    &bufPool{},
 	}
 	for i := range r.boxes {
-		r.boxes[i] = newMailbox()
+		r.boxes[i] = newMailbox(&r.aborted)
 	}
 	return r
 }
@@ -220,32 +232,90 @@ func (r *Runtime) Size() int { return r.size }
 // Traffic returns the runtime's traffic meter.
 func (r *Runtime) Traffic() *Traffic { return r.traffic }
 
+// abortPanic is the value a blocked collective receive panics with
+// when a peer rank has died: not a failure of its own, just the
+// unwinding mechanism. Run filters these cascades out in favour of
+// the root-cause rank's panic.
+type abortPanic struct{}
+
+// RankPanic is what Run re-panics with on the caller when a rank's
+// function panicked: the originating rank, its original panic value,
+// and the goroutine stack captured at the rank's recovery point. It
+// implements error so recover wrappers upstream (internal/guard) can
+// log and record it without string surgery.
+type RankPanic struct {
+	Rank  int
+	Value any
+	Stack []byte
+}
+
+// Error implements error (the stack is carried, not printed).
+func (p *RankPanic) Error() string {
+	return fmt.Sprintf("par: rank %d panicked: %v", p.Rank, p.Value)
+}
+
+// abort unblocks every rank parked in a mailbox receive: the shared
+// flag flips and every mailbox's waiters are woken, each then
+// panicking with abortPanic and unwinding through its rank's recover.
+// Idempotent; called from the first panicking rank's deferred recover.
+func (r *Runtime) abort() {
+	if r.aborted.Swap(true) {
+		return
+	}
+	for _, mb := range r.boxes {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+}
+
 // Run launches fn on every rank concurrently and waits for all ranks to
 // finish. Each invocation receives that rank's world communicator. If
-// any rank panics, Run re-panics on the caller with the first rank's
-// panic value after all ranks have returned; callers relying on this
-// must ensure the panic does not leave peers blocked (tests use small
-// rank counts where this holds).
+// any rank panics, every peer blocked in a collective is unwound (so
+// Run always returns even when the panic strikes mid-exchange) and Run
+// re-panics on the caller with a *RankPanic carrying the root-cause
+// rank, its panic value and its stack. The runtime is not reusable
+// after an aborted Run: mailboxes may hold orphaned messages.
 func (r *Runtime) Run(fn func(c *Comm)) {
+	r.aborted.Store(false)
 	var wg sync.WaitGroup
-	panics := make([]any, r.size)
+	panics := make([]*RankPanic, r.size)
 	for rank := 0; rank < r.size; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panics[rank] = p
+					panics[rank] = &RankPanic{Rank: rank, Value: p, Stack: debug.Stack()}
+					r.abort()
 				}
 			}()
 			fn(&Comm{rt: r, rank: rank, size: r.size, ranks: nil, cid: 0})
 		}(rank)
 	}
 	wg.Wait()
-	for rank, p := range panics {
-		if p != nil {
-			panic(fmt.Sprintf("par: rank %d panicked: %v", rank, p))
+	// Prefer a root cause — a rank that died on its own panic — over
+	// ranks merely unwound by the abort broadcast.
+	var first, cascade *RankPanic
+	for _, p := range panics {
+		if p == nil {
+			continue
 		}
+		if _, cascaded := p.Value.(abortPanic); cascaded {
+			if cascade == nil {
+				cascade = p
+			}
+			continue
+		}
+		if first == nil {
+			first = p
+		}
+	}
+	if first == nil {
+		first = cascade
+	}
+	if first != nil {
+		panic(first)
 	}
 }
 

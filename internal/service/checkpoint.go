@@ -2,11 +2,13 @@ package service
 
 import (
 	"bytes"
+	"errors"
 	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/lb"
 	"repro/internal/obs"
 )
@@ -77,6 +79,10 @@ type ckptWriter struct {
 	// chaos observes the ckpt.swap / ckpt.write crash points (nil in
 	// production).
 	chaos ChaosHook
+	// degrader is the manager's disk-pressure policy (nil-safe):
+	// checkpoint writes are skipped while degraded, and write outcomes
+	// feed its failure counting.
+	degrader *guard.Degrader
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -127,13 +133,13 @@ type ckptWriter struct {
 // of elapsed run time (<= 0 = no cap) against the shared cost
 // estimate (nil = none — the governor then only throttles after this
 // job's own first write).
-func newCkptWriter(store checkpointPutter, id string, metrics *Metrics, rec *obs.Recorder, log *slog.Logger, chaos ChaosHook, fullEvery int, dirtyMax float64, budget float64, cost *atomic.Int64) *ckptWriter {
+func newCkptWriter(store checkpointPutter, id string, metrics *Metrics, rec *obs.Recorder, log *slog.Logger, chaos ChaosHook, degrader *guard.Degrader, fullEvery int, dirtyMax float64, budget float64, cost *atomic.Int64) *ckptWriter {
 	if log == nil {
 		log = obs.NopLogger()
 	}
 	w := &ckptWriter{
 		store: store, id: id, metrics: metrics, rec: rec, log: log, chaos: chaos,
-		fullEvery: fullEvery, dirtyMax: dirtyMax, done: make(chan struct{}),
+		degrader: degrader, fullEvery: fullEvery, dirtyMax: dirtyMax, done: make(chan struct{}),
 		budget: budget, cost: cost, start: time.Now(),
 	}
 	w.cond = sync.NewCond(&w.mu)
@@ -225,7 +231,22 @@ func (w *ckptWriter) loop() {
 		}
 		// write returns the buffer to recycle: the displaced old base on
 		// success (st became the new base), st itself on failure or skip.
-		recycle := w.write(st, final)
+		// The recover wrapper keeps a panicking write (encoder bug, bad
+		// state) from killing the process: the job just loses this
+		// checkpoint, like any other failed write.
+		recycle := st
+		if perr := guard.Capture("checkpoint write", func() error {
+			recycle = w.write(st, final)
+			return nil
+		}); perr != nil {
+			var pe *guard.PanicError
+			if errors.As(perr, &pe) {
+				w.metrics.StoreErrors.Add(1)
+				w.log.Error("checkpoint writer panicked; state dropped",
+					"step", st.Info.Step, "panic", pe.Value, "stack", string(pe.Stack))
+			}
+			recycle = st
+		}
 		if recycle != nil {
 			w.mu.Lock()
 			w.free = recycle
@@ -240,6 +261,16 @@ func (w *ckptWriter) loop() {
 // its previous checkpoint, exactly as the synchronous path behaved.
 // final marks the Close drain, which bypasses the write budget.
 func (w *ckptWriter) write(st *lb.CheckpointState, final bool) *lb.CheckpointState {
+	// Under disk-pressure degradation every checkpoint write (drain
+	// included — the disk cannot take it) is skipped: the job keeps its
+	// previous chain and keeps stepping non-durably.
+	if w.degrader.Degraded() {
+		w.metrics.CheckpointsSkippedDegraded.Add(1)
+		if w.rec != nil {
+			w.rec.Record(obs.EvCheckpointSkip, st.Info.Step, 0, "store degraded")
+		}
+		return st
+	}
 	if !final && w.budget > 0 {
 		var est int64
 		if w.cost != nil {
@@ -299,8 +330,10 @@ func (w *ckptWriter) writeFull(st *lb.CheckpointState, start time.Time) *lb.Chec
 	if err := w.store.PutCheckpoint(w.id, w.enc.Bytes()); err != nil {
 		w.metrics.StoreErrors.Add(1)
 		w.log.Warn("checkpoint write failed", "step", st.Info.Step, "err", err)
+		w.degrader.WriteFailed(err)
 		return st
 	}
+	w.degrader.WriteOK()
 	crc, err := lb.CheckpointCRC(w.enc.Bytes())
 	if err != nil {
 		// Unreachable for a stream EncodeTo just produced; park the chain
@@ -344,8 +377,10 @@ func (w *ckptWriter) writeDelta(st *lb.CheckpointState, dirty []int, start time.
 	if err := w.store.PutCheckpointDelta(w.id, w.nextSeq, w.enc.Bytes()); err != nil {
 		w.metrics.StoreErrors.Add(1)
 		w.log.Warn("checkpoint delta write failed", "step", st.Info.Step, "seq", w.nextSeq, "err", err)
+		w.degrader.WriteFailed(err)
 		return st
 	}
+	w.degrader.WriteOK()
 	recycle := w.last
 	w.last, w.tailCRC = st, stats.CRC
 	w.nextSeq++

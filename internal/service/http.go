@@ -68,10 +68,78 @@ func NewServer(mgr *Manager) *Server {
 	handle("GET /healthz", s.handleHealthz)
 	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.mgr.Metrics().HTTPRequests.Add(1)
+		// Admission: API routes resolve their tenant (401 on a bad or
+		// missing key when keys are configured); operational endpoints
+		// (/healthz, /metrics) stay open for probes and scrapers.
+		if strings.HasPrefix(r.URL.Path, "/api/") {
+			tenant, ok := s.authenticate(r)
+			if !ok {
+				s.mgr.Metrics().AuthFailures.Add(1)
+				writeErr(w, ErrUnauthorized)
+				return
+			}
+			r = r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, tenant))
+		}
 		mux.ServeHTTP(w, r)
 	})
-	s.http = &http.Server{Handler: counted, ReadHeaderTimeout: 10 * time.Second}
+	s.http = &http.Server{
+		Handler:           counted,
+		ReadHeaderTimeout: 10 * time.Second,
+		// Hardening against slow or hostile clients: bounded header
+		// size, bounded idle keep-alives, and a write deadline per
+		// response. SSE streams are exempt from WriteTimeout by
+		// construction — writeSSE re-arms a per-event deadline through
+		// http.NewResponseController, which overrides the server-wide
+		// setting for that connection.
+		ReadTimeout:    30 * time.Second,
+		WriteTimeout:   60 * time.Second,
+		IdleTimeout:    120 * time.Second,
+		MaxHeaderBytes: 64 << 10,
+	}
 	return s
+}
+
+// Request body caps: a submit spec or steer command is small JSON; a
+// client streaming us megabytes is a mistake or an attack either way.
+const (
+	maxSubmitBody = 1 << 20  // 1 MiB
+	maxSteerBody  = 64 << 10 // 64 KiB
+)
+
+// tenantCtxKey carries the authenticated tenant through the request
+// context.
+type tenantCtxKey struct{}
+
+// tenantFrom returns the authenticated tenant ("" for routes outside
+// the auth middleware).
+func tenantFrom(r *http.Request) string {
+	t, _ := r.Context().Value(tenantCtxKey{}).(string)
+	return t
+}
+
+// authenticate resolves the request's tenant. Keys ride Authorization:
+// Bearer or X-API-Key. Without a configured key set, every caller is
+// the anonymous tenant; with one, keyless requests are allowed only
+// from loopback (the operator's own curl), everything else is a 401.
+func (s *Server) authenticate(r *http.Request) (string, bool) {
+	if !s.mgr.AuthRequired() {
+		return AnonymousTenant, true
+	}
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		if ah := r.Header.Get("Authorization"); strings.HasPrefix(ah, "Bearer ") {
+			key = strings.TrimSpace(strings.TrimPrefix(ah, "Bearer "))
+		}
+	}
+	if key != "" {
+		return s.mgr.ResolveKey(key)
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		if ip := net.ParseIP(host); ip != nil && ip.IsLoopback() {
+			return AnonymousTenant, true
+		}
+	}
+	return "", false
 }
 
 // statusWriter captures the response code for logging while passing
@@ -146,7 +214,11 @@ func writeErr(w http.ResponseWriter, err error) {
 		// keep 500: server-side failure, not the client's fault
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrUnauthorized):
+		code = http.StatusUnauthorized
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded),
+		errors.Is(err, ErrQuotaExceeded), errors.Is(err, ErrRateLimited):
+		// Shedding, not failing: tell the client when to come back.
 		code = http.StatusTooManyRequests
 		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, ErrClosed), errors.Is(err, ErrResumeAborted):
@@ -182,11 +254,12 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+	body := http.MaxBytesReader(w, r.Body, maxSubmitBody)
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
 		writeErr(w, fmt.Errorf("service: bad spec: %w", err))
 		return
 	}
-	j, err := s.mgr.Submit(spec)
+	j, err := s.mgr.SubmitAs(tenantFrom(r), spec)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -260,7 +333,8 @@ func (s *Server) handleSteer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var msg steering.ClientMsg
-	if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+	body := http.MaxBytesReader(w, r.Body, maxSteerBody)
+	if err := json.NewDecoder(body).Decode(&msg); err != nil {
 		writeErr(w, fmt.Errorf("service: bad steer body: %w", err))
 		return
 	}
@@ -350,8 +424,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealthz answers 200 while the service accepts work and 503
-// once shutdown begins (server draining or manager closed), so load
+// handleHealthz answers 200 "ok" while the service is fully healthy,
+// 200 "degraded" while it is serving without durability (disk
+// pressure — still routable, but worth alerting on), and 503 once
+// shutdown begins (server draining or manager closed), so load
 // balancers stop routing before in-flight connections finish.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	draining := s.mgr.Draining()
@@ -362,6 +438,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if draining {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if s.mgr.StoreDegraded() {
+		w.Write([]byte("degraded\n"))
 		return
 	}
 	w.Write([]byte("ok\n"))

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io/fs"
 	"log/slog"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/insitu"
 	"repro/internal/obs"
 	"repro/internal/octree"
@@ -91,6 +93,12 @@ var (
 	// ErrInternal marks server-side failures (a render or reply that
 	// went wrong) as distinct from bad requests.
 	ErrInternal = fmt.Errorf("service: internal error")
+	// Admission-control rejections (HTTP: 401 for the first, 429 with
+	// Retry-After for the rest).
+	ErrUnauthorized  = fmt.Errorf("service: missing or invalid API key")
+	ErrQuotaExceeded = fmt.Errorf("service: tenant concurrent-job quota exceeded")
+	ErrRateLimited   = fmt.Errorf("service: tenant submit rate exceeded")
+	ErrOverloaded    = fmt.Errorf("service: server overloaded")
 )
 
 // Job is one managed simulation: the spec it was submitted with, its
@@ -141,6 +149,27 @@ type Job struct {
 	recovered  bool
 	restarts   int
 	resumeStep int
+	// tenant is the admission-control account the job is charged to
+	// (AnonymousTenant when submitted without a key). Set at submit or
+	// recovery, constant afterwards.
+	tenant string
+	// resumePaused marks a recovered job that was paused when the
+	// previous daemon died: its re-run starts parked (core StartPaused)
+	// and the lifecycle state comes back as paused, not running.
+	resumePaused bool
+	// steer mirrors the steering state that must survive a restart:
+	// the last ROI and the set-iolet overrides applied so far. Written
+	// on successful Steer ops, re-applied at dispatch.
+	steer store.SteerRecord
+	// Watchdog bookkeeping: wdSeen primes the first observation after
+	// (re)dispatch, wdLastStep is the step at the last tick, wdStrikes
+	// counts consecutive no-progress windows, watchdogRequeue marks a
+	// quit issued by the watchdog so finish re-queues instead of
+	// terminating.
+	wdSeen          bool
+	wdLastStep      int64
+	wdStrikes       int
+	watchdogRequeue bool
 	// shutdownCancel marks a cancel issued by Close (daemon draining,
 	// not a user decision): the terminal cancelled state then stays
 	// out of the store, so the job is re-queued on the next boot.
@@ -426,6 +455,38 @@ type Options struct {
 	// durable-job path (see the ChaosHook type). Test-only; nil in
 	// production.
 	ChaosHook ChaosHook
+	// StepHook, when set, runs inside the solver's OnStep callback on
+	// the rank-0 stepping goroutine. Test-only fault-injection seam: a
+	// hook that panics exercises the panic quarantine exactly where a
+	// kernel bug would.
+	StepHook func(jobID string, step int)
+	// Disk-pressure degradation (ignored without Store).
+	// StoreDegradeAfter is how many consecutive non-ENOSPC write
+	// failures trip degraded mode (ENOSPC trips immediately; 0 = 3);
+	// StoreProbeEvery is the re-probe cadence while degraded (0 = 5s).
+	StoreDegradeAfter int
+	StoreProbeEvery   time.Duration
+	// Terminal-job retention (ignored without Store; zero values keep
+	// everything). StoreRetain caps how many terminal jobs are kept;
+	// StoreRetainAge removes terminal jobs older than this. The sweep
+	// runs every GCInterval (0 = 1 minute).
+	StoreRetain    int
+	StoreRetainAge time.Duration
+	GCInterval     time.Duration
+	// Stuck-job watchdog. WatchdogStall is the no-step-progress window
+	// that counts one strike (0 disables the watchdog);
+	// WatchdogStrikes is how many consecutive strikes trigger a forced
+	// requeue (0 = flag-only, never requeue).
+	WatchdogStall   time.Duration
+	WatchdogStrikes int
+	// Admission control. AuthKeys is the parsed -auth-keys tenant set
+	// (empty = no keys, every caller is anonymous); TenantDefaults are
+	// the limits for tenants without their own (and for anonymous).
+	AuthKeys       []TenantConfig
+	TenantDefaults TenantLimits
+	// MemLimit sheds submits while the Go heap exceeds this many bytes
+	// (0 = no memory watermark).
+	MemLimit int64
 }
 
 // Manager owns the bounded submission queue, the concurrency slots the
@@ -466,6 +527,22 @@ type Manager struct {
 	slots chan struct{}
 	cache *FrameCache
 	pool  *RenderPool
+	// Fault containment. degrader tracks disk-pressure degradation
+	// (nil without a store); tenants enforces per-tenant quotas and
+	// rate limits (never nil); memWM is the heap shed watermark (nil
+	// when unset); stepHook is the test-only solver fault seam.
+	degrader *guard.Degrader
+	tenants  *tenants
+	memWM    *guard.MemWatermark
+	stepHook func(jobID string, step int)
+	// Watchdog / retention config (zero = disabled).
+	wdStall    time.Duration
+	wdStrikes  int
+	retainMax  int
+	retainAge  time.Duration
+	gcInterval time.Duration
+	// done stops the watchdog and retention goroutines at Close.
+	done chan struct{}
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -535,6 +612,9 @@ func NewManagerOpts(o Options) *Manager {
 	if o.CheckpointBudget == 0 {
 		o.CheckpointBudget = 0.05
 	}
+	if o.GCInterval <= 0 {
+		o.GCInterval = time.Minute
+	}
 	m := &Manager{
 		metrics:       o.Metrics,
 		log:           o.Logger,
@@ -551,6 +631,31 @@ func NewManagerOpts(o Options) *Manager {
 		pool:          NewRenderPool(o.RenderWorkers, o.RenderQueue, o.Metrics),
 		jobs:          make(map[string]*Job),
 		hubs:          make(map[string]*viewHub),
+		tenants:       newTenants(o.AuthKeys, o.TenantDefaults),
+		memWM:         guard.NewMemWatermark(uint64(max(o.MemLimit, 0))),
+		stepHook:      o.StepHook,
+		wdStall:       o.WatchdogStall,
+		wdStrikes:     o.WatchdogStrikes,
+		retainMax:     o.StoreRetain,
+		retainAge:     o.StoreRetainAge,
+		gcInterval:    o.GCInterval,
+		done:          make(chan struct{}),
+	}
+	if m.store != nil {
+		// The degrader decides when write failures mean "disk full, stop
+		// journaling" versus a transient hiccup; its probe re-enables
+		// durability by test-writing into the data dir.
+		m.degrader = guard.NewDegrader(o.StoreDegradeAfter, o.StoreProbeEvery,
+			m.store.ProbeWrite, m.onDegradeChange)
+		// No-wait journal commits (terminal states, async pause/resume
+		// records) swallow their write errors — route them to the
+		// degrader so a full disk degrades the store no matter which
+		// write hits it first.
+		m.store.SetWriteFailureObserver(func(err error) {
+			m.metrics.StoreErrors.Add(1)
+			m.log.Warn("journal background write failed", "err", err)
+			m.degrader.WriteFailed(err)
+		})
 	}
 	// The group-commit journal comes up before recovery: EnableJournal
 	// replays any log a previous run left, so recovery always sees the
@@ -589,7 +694,73 @@ func NewManagerOpts(o Options) *Manager {
 	}
 	m.wg.Add(1)
 	go m.dispatch()
+	if m.wdStall > 0 {
+		m.wg.Add(1)
+		go m.watchdog()
+	}
+	if m.store != nil && (m.retainMax > 0 || m.retainAge > 0) {
+		m.wg.Add(1)
+		go m.gcLoop()
+	}
 	return m
+}
+
+// onDegradeChange is the degrader's transition callback: flip the
+// gauge, log loudly, and on restore re-journal every live job so the
+// states accepted while degraded become durable again.
+func (m *Manager) onDegradeChange(degraded bool, cause error) {
+	if degraded {
+		m.metrics.StoreDegraded.Store(1)
+		m.metrics.StoreDegradedTotal.Add(1)
+		m.log.Error("store degraded: suspending durability, jobs keep stepping", "cause", cause)
+		return
+	}
+	m.metrics.StoreDegraded.Store(0)
+	m.log.Info("store restored: re-enabling durability")
+	go m.rejournalAll()
+}
+
+// StoreDegraded reports whether durability is currently suspended
+// under disk pressure (the /healthz "degraded" signal).
+func (m *Manager) StoreDegraded() bool {
+	return m.degrader != nil && m.degrader.Degraded()
+}
+
+// rejournalAll re-writes every live job's spec+state through the
+// journal after a degraded episode ends: whatever was accepted or
+// transitioned while writes were suspended becomes durable now.
+// AppendSubmit is idempotent (it overwrites the same records recovery
+// reads), so jobs that never lost a write are simply refreshed.
+func (m *Manager) rejournalAll() {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, id := range m.order {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		if m.degrader.Degraded() {
+			return // re-degraded mid-sweep; the next restore retries
+		}
+		j.journalMu.Lock()
+		j.mu.Lock()
+		rec := j.recordLocked()
+		spec := j.Spec
+		skip := j.shutdownCancel && j.state == StateCancelled
+		j.mu.Unlock()
+		if !skip {
+			if err := m.store.AppendSubmit(j.ID, spec, rec); err != nil {
+				m.metrics.StoreErrors.Add(1)
+				j.log.Warn("re-journal after degraded episode failed", "err", err)
+				m.degrader.WriteFailed(err)
+			} else {
+				m.degrader.WriteOK()
+				j.rec.Record(obs.EvStoreRestored, j.Step(), 0, "re-journaled")
+			}
+		}
+		j.journalMu.Unlock()
+	}
+	m.log.Info("re-journaled live jobs after degraded episode", "jobs", len(jobs))
 }
 
 // recoverFromStore rebuilds the job table from the data dir: terminal
@@ -643,7 +814,11 @@ func (m *Manager) recoverFromStore() []*Job {
 			created:   rec.CreatedAt,
 			recovered: true,
 			restarts:  rec.Restarts,
+			tenant:    rec.Tenant,
 			snapCh:    make(chan struct{}),
+		}
+		if rec.Steer != nil {
+			j.steer = *rec.Steer
 		}
 		j.rec.Record(obs.EvRecovered, rec.Step, 0, rec.State)
 		if st := JobState(rec.State); st.Terminal() {
@@ -658,6 +833,12 @@ func (m *Manager) recoverFromStore() []*Job {
 		} else {
 			j.state = StateQueued
 			j.restarts++
+			// A job that was paused when the daemon died comes back
+			// paused: its re-run starts parked and waits for an explicit
+			// resume, instead of silently burning its remaining steps.
+			j.resumePaused = rec.Paused || rec.State == string(StatePaused)
+			// Re-queued work still occupies its tenant's quota.
+			m.tenants.charge(j.tenant)
 			// Verify the checkpoint chain now but keep only its step —
 			// the state is re-read at dispatch, so a crash with a big
 			// backlog doesn't hold every solver state in memory while
@@ -713,7 +894,7 @@ func jobIDNumber(id string) (int64, bool) {
 // recordLocked builds the persisted lifecycle record. Caller holds
 // j.mu (or has exclusive access to a job not yet published).
 func (j *Job) recordLocked() store.JobRecord {
-	return store.JobRecord{
+	rec := store.JobRecord{
 		ID:         j.ID,
 		State:      string(j.state),
 		Error:      j.errMsg,
@@ -722,7 +903,15 @@ func (j *Job) recordLocked() store.JobRecord {
 		CreatedAt:  j.created,
 		StartedAt:  j.started,
 		FinishedAt: j.finished,
+		Tenant:     j.tenant,
+		Paused:     j.state == StatePaused,
 	}
+	if j.steer.ROISet || len(j.steer.Iolets) > 0 {
+		s := j.steer
+		s.Iolets = append([]store.IoletOver(nil), j.steer.Iolets...)
+		rec.Steer = &s
+	}
+	return rec
 }
 
 // persistState journals the job's current lifecycle record and waits
@@ -760,6 +949,15 @@ func (m *Manager) persistStateRecord(j *Job, wait bool) {
 	if skip {
 		return
 	}
+	// While degraded every lifecycle write is suppressed: the job's
+	// current record is rebuilt and re-journaled wholesale when the
+	// probe restores the disk (rejournalAll), so nothing is lost except
+	// crash-durability during the episode — which the disk couldn't
+	// provide anyway.
+	if m.degrader.Degraded() {
+		m.metrics.StoreWritesSuppressed.Add(1)
+		return
+	}
 	m.chaosPoint(ChaosJournalAppend, j.ID)
 	append := m.store.AppendState
 	if !wait {
@@ -768,6 +966,9 @@ func (m *Manager) persistStateRecord(j *Job, wait bool) {
 	if err := append(j.ID, rec); err != nil {
 		m.metrics.StoreErrors.Add(1)
 		j.log.Warn("journaling state failed", "state", rec.State, "err", err)
+		m.degrader.WriteFailed(err)
+	} else {
+		m.degrader.WriteOK()
 	}
 }
 
@@ -803,6 +1004,13 @@ func (m *Manager) checkpointCadence(sp JobSpec) int {
 // Metrics exposes the counter set shared with the HTTP layer.
 func (m *Manager) Metrics() *Metrics { return m.metrics }
 
+// AuthRequired reports whether an auth-keys file was configured — if
+// so, non-loopback callers must present a valid API key.
+func (m *Manager) AuthRequired() bool { return m.tenants.keysConfigured() }
+
+// ResolveKey maps an API key to its tenant name.
+func (m *Manager) ResolveKey(key string) (string, bool) { return m.tenants.resolveKey(key) }
+
 // Draining reports whether Close has begun: the manager no longer
 // accepts work, so health checks should fail and load balancers stop
 // routing here.
@@ -815,14 +1023,54 @@ func (m *Manager) Draining() bool {
 // Cache exposes the shared frame cache.
 func (m *Manager) Cache() *FrameCache { return m.cache }
 
-// Submit validates a spec and enqueues the job, failing fast when the
-// queue is full — backpressure instead of unbounded memory.
+// Submit validates a spec and enqueues the job under the anonymous
+// tenant, failing fast when the queue is full — backpressure instead
+// of unbounded memory.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	return m.SubmitAs(AnonymousTenant, spec)
+}
+
+// SubmitAs validates a spec and enqueues the job charged to tenant,
+// running the admission gauntlet first: global overload watermarks
+// (queue backlog, heap), then the tenant's token bucket and
+// concurrent-job quota. All rejections are cheap and keep the daemon
+// healthy — shedding is the success mode under overload.
+func (m *Manager) SubmitAs(tenant string, spec JobSpec) (*Job, error) {
+	if tenant == "" {
+		tenant = AnonymousTenant
+	}
 	if err := spec.Validate(); err != nil {
 		m.metrics.JobsRejected.Add(1)
 		return nil, err
 	}
 	spec = spec.withDefaults()
+	if m.memWM.Exceeded() {
+		m.metrics.SubmitsShed.Add(1)
+		m.metrics.JobsRejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	// The tenant gauntlet charges one active slot on success; every
+	// rejection below must release it again.
+	if err := m.tenants.admit(tenant); err != nil {
+		switch {
+		case errors.Is(err, ErrRateLimited):
+			m.metrics.SubmitsRateLimited.Add(1)
+		case errors.Is(err, ErrQuotaExceeded):
+			m.metrics.SubmitsQuotaRejected.Add(1)
+		}
+		m.metrics.JobsRejected.Add(1)
+		return nil, err
+	}
+	j, err := m.submitAdmitted(tenant, spec)
+	if err != nil {
+		m.tenants.release(tenant)
+		return nil, err
+	}
+	return j, nil
+}
+
+// submitAdmitted enqueues a spec that already passed admission.
+func (m *Manager) submitAdmitted(tenant string, spec JobSpec) (*Job, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -831,6 +1079,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	}
 	if m.queuedLen >= m.queueCap {
 		m.mu.Unlock()
+		m.metrics.SubmitsShed.Add(1)
 		m.metrics.JobsRejected.Add(1)
 		return nil, ErrQueueFull
 	}
@@ -841,6 +1090,7 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		ctrl:    steering.NewController(),
 		state:   StateQueued,
 		created: time.Now(),
+		tenant:  tenant,
 		snapCh:  make(chan struct{}),
 	}
 	j.rec = obs.NewRecorder(m.ringSz)
@@ -855,20 +1105,40 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	// Journal before accepting: once Submit returns 201, the job must
 	// survive a crash, so a spec that cannot be journaled is rejected.
 	// Spec and initial state go as one atomic group-committed record;
-	// concurrent submits share the journal fsync.
+	// concurrent submits share the journal fsync. Under disk-pressure
+	// degradation the write is skipped instead: the job is accepted
+	// non-durably (and re-journaled when the probe restores the disk) —
+	// availability over durability, by design.
+	nonDurable := false
 	if m.store != nil {
-		m.chaosPoint(ChaosJournalAppend, j.ID)
-		err := m.store.AppendSubmit(j.ID, j.Spec, j.recordLocked())
-		if err != nil {
-			m.mu.Lock()
-			m.queuedLen--
-			m.mu.Unlock()
-			// Best-effort undo of whatever half got journaled, or the
-			// next boot would resurrect a job nobody was promised.
-			_ = m.store.Remove(j.ID)
-			m.metrics.StoreErrors.Add(1)
-			m.metrics.JobsRejected.Add(1)
-			return nil, fmt.Errorf("%w: journal submit: %v", ErrInternal, err)
+		if m.degrader.Degraded() {
+			m.metrics.StoreWritesSuppressed.Add(1)
+			nonDurable = true
+			j.log.Warn("store degraded: job accepted without durability")
+		} else {
+			m.chaosPoint(ChaosJournalAppend, j.ID)
+			err := m.store.AppendSubmit(j.ID, j.Spec, j.recordLocked())
+			if err != nil && m.degrader.WriteFailed(err) {
+				// This write just tripped degraded mode (ENOSPC, or the
+				// last straw of a failure run): accept the job without
+				// durability rather than bounce it.
+				m.metrics.StoreErrors.Add(1)
+				m.metrics.StoreWritesSuppressed.Add(1)
+				nonDurable = true
+				j.log.Warn("store degraded: job accepted without durability", "err", err)
+			} else if err != nil {
+				m.mu.Lock()
+				m.queuedLen--
+				m.mu.Unlock()
+				// Best-effort undo of whatever half got journaled, or the
+				// next boot would resurrect a job nobody was promised.
+				_ = m.store.Remove(j.ID)
+				m.metrics.StoreErrors.Add(1)
+				m.metrics.JobsRejected.Add(1)
+				return nil, fmt.Errorf("%w: journal submit: %v", ErrInternal, err)
+			} else {
+				m.degrader.WriteOK()
+			}
 		}
 	}
 	m.mu.Lock()
@@ -890,7 +1160,10 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	m.mu.Unlock()
 	m.metrics.JobsSubmitted.Add(1)
 	j.rec.Record(obs.EvSubmitted, 0, 0, spec.Preset)
-	j.log.Info("job submitted", "preset", spec.Preset, "ranks", spec.Ranks, "steps", spec.Steps)
+	if nonDurable {
+		j.rec.Record(obs.EvStoreDegraded, 0, 0, "accepted non-durably")
+	}
+	j.log.Info("job submitted", "preset", spec.Preset, "ranks", spec.Ranks, "steps", spec.Steps, "tenant", tenant)
 	return j, nil
 }
 
@@ -1016,7 +1289,17 @@ func (m *Manager) run(j *Job) {
 	}
 	cfg.Controller = j.ctrl
 	cfg.Phases = jobObserver{m: m.metrics, j: j}
-	cfg.OnStep = func(step, total int) { j.step.Store(int64(step)) }
+	if hook := m.stepHook; hook != nil {
+		// Test-only fault seam: the hook runs on the rank-0 stepping
+		// goroutine, so a panicking hook exercises the quarantine path
+		// exactly like a kernel bug would.
+		cfg.OnStep = func(step, total int) {
+			j.step.Store(int64(step))
+			hook(j.ID, step)
+		}
+	} else {
+		cfg.OnStep = func(step, total int) { j.step.Store(int64(step)) }
+	}
 	cfg.OnSnapshot = func(s *core.Snapshot) {
 		m.metrics.SnapshotsTotal.Add(1)
 		j.rec.Record(obs.EvSnapshotPublish, s.Step, 0, "")
@@ -1050,7 +1333,7 @@ func (m *Manager) run(j *Job) {
 	var writer *ckptWriter
 	if every := m.checkpointCadence(j.Spec); every > 0 {
 		cfg.CheckpointEvery = every
-		writer = newCkptWriter(m.store, j.ID, m.metrics, j.rec, j.log, m.chaos, m.fullEvery, m.dirtyMax, m.ckptBudget, &m.ckptCostNs)
+		writer = newCkptWriter(m.store, j.ID, m.metrics, j.rec, j.log, m.chaos, m.degrader, m.fullEvery, m.dirtyMax, m.ckptBudget, &m.ckptCostNs)
 		cfg.Checkpoint = writer
 	}
 	// A recovered job resumes from its journaled checkpoint, re-read
@@ -1079,6 +1362,19 @@ func (m *Manager) run(j *Job) {
 			j.step.Store(0)
 		}
 	}
+	// A recovered job that was paused at the time of death restarts
+	// parked: the solver waits in its steering loop for an explicit
+	// resume. Steered iolet densities issued since submit are re-applied
+	// identically on every rank before the first step.
+	j.mu.Lock()
+	resumePaused := j.resumePaused
+	j.resumePaused = false
+	steer := j.steer
+	j.mu.Unlock()
+	cfg.StartPaused = resumePaused
+	for _, ov := range steer.Iolets {
+		cfg.IoletOverrides = append(cfg.IoletOverrides, core.IoletOverride{Iolet: ov.Iolet, Density: ov.Density})
+	}
 	sim, err := core.New(cfg)
 	if err != nil {
 		if writer != nil {
@@ -1097,8 +1393,45 @@ func (m *Manager) run(j *Job) {
 		detail = "resumed from checkpoint"
 	}
 	j.rec.Record(obs.EvDispatched, resumeStep, 0, detail)
-	j.log.Info("job dispatched", "sites", sim.Dom.NumSites(), "resume_step", resumeStep)
-	runErr := sim.Run(j.Spec.Steps)
+	j.log.Info("job dispatched", "sites", sim.Dom.NumSites(), "resume_step", resumeStep,
+		"resume_paused", resumePaused)
+	if resumePaused {
+		// The run goroutine is about to park in the solver's pause loop;
+		// hand the concurrency slot back so queued work is not starved by
+		// jobs nobody has resumed yet, and surface the state as paused.
+		j.mu.Lock()
+		if j.state == StateRunning {
+			j.state = StatePaused
+		}
+		j.mu.Unlock()
+		j.rec.Record(obs.EvPause, resumeStep, 0, "recovered paused")
+		m.releaseJobSlot(j)
+		m.persistStateAsync(j)
+		if steer.ROISet {
+			// Re-apply the persisted ROI through the normal steering path
+			// once the solver starts polling (works while paused). Fire
+			// and forget: a failed re-apply only loses a view preference.
+			go j.ctrl.Do(steering.ClientMsg{
+				Op: steering.OpSetROI, ROIMin: steer.ROIMin, ROIMax: steer.ROIMax,
+				Detail: steer.Detail, Context: steer.Context,
+			})
+		}
+	}
+	// The recover wrapper turns a panicking solver — a rank goroutine
+	// (surfaced by par.Runtime as a RankPanic), a tile worker, a bad
+	// restore — into a failed job instead of a dead daemon: the panic
+	// value and stack go to the log and flight recorder, siblings keep
+	// stepping, and the HTTP plane never notices.
+	runErr := guard.Capture("solver run", func() error {
+		return sim.Run(j.Spec.Steps)
+	})
+	var pe *guard.PanicError
+	if errors.As(runErr, &pe) {
+		m.metrics.JobsPanicked.Add(1)
+		j.rec.Record(obs.EvPanic, j.Step(), 0, fmt.Sprint(pe.Value))
+		j.log.Error("solver panicked; job quarantined",
+			"step", j.Step(), "panic", fmt.Sprint(pe.Value), "stack", string(pe.Stack))
+	}
 	if writer != nil {
 		// A job headed for re-queue (shutdown drain) flushes its last
 		// gathered state to disk before the run is declared over —
@@ -1124,6 +1457,22 @@ func (m *Manager) run(j *Job) {
 // run that executed every requested step counts as done even when a
 // cancel raced its completion — the work happened.
 func (m *Manager) finish(j *Job, runErr error, completed bool) {
+	// A quit issued by the stuck-job watchdog is a retry, not an
+	// outcome: re-queue the job (fresh dispatch, resume from its last
+	// good checkpoint) unless it already used up its restart budget.
+	j.mu.Lock()
+	wdRequeue := j.watchdogRequeue && runErr == nil && !completed &&
+		!j.cancelRequested && !j.shutdownCancel
+	exhausted := j.restarts >= maxWatchdogRestarts
+	j.watchdogRequeue = false
+	j.mu.Unlock()
+	if wdRequeue && !exhausted {
+		if m.requeueStuck(j) {
+			return
+		}
+	} else if wdRequeue && exhausted {
+		runErr = fmt.Errorf("service: watchdog gave up: no step progress after %d restarts", maxWatchdogRestarts)
+	}
 	j.ctrl.Close()
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -1166,6 +1515,190 @@ func (m *Manager) finish(j *Job, runErr error, completed bool) {
 	// Seal after the terminal state is visible: a subscriber woken by
 	// the seal must observe Terminal() and end its stream.
 	j.sealSnapshots()
+	// The job left the active set; return its admission-quota slot.
+	m.tenants.release(j.tenant)
+}
+
+// maxWatchdogRestarts bounds how many times the watchdog may re-queue
+// one job before declaring it failed — a job that stalls every run is
+// broken, not unlucky.
+const maxWatchdogRestarts = 3
+
+// requeueStuck puts a watchdog-quit job back on the submission queue
+// for a fresh dispatch, resuming from its last verified checkpoint.
+// Returns false when the queue cannot take it (the caller then
+// terminates the job normally).
+func (m *Manager) requeueStuck(j *Job) bool {
+	resumeStep := 0
+	if m.store != nil {
+		if step, err := m.store.VerifyCheckpoint(j.ID); err == nil {
+			resumeStep = step
+		}
+	}
+	j.mu.Lock()
+	j.state = StateQueued
+	j.restarts++
+	j.wdSeen = false
+	j.wdStrikes = 0
+	j.resumeStep = resumeStep
+	restarts := j.restarts
+	j.mu.Unlock()
+	j.step.Store(int64(resumeStep))
+	m.mu.Lock()
+	if m.closed || m.queuedLen >= cap(m.queue) {
+		m.mu.Unlock()
+		j.mu.Lock()
+		j.state = StateRunning // let finish record the real outcome
+		j.restarts--
+		j.mu.Unlock()
+		return false
+	}
+	m.queuedLen++
+	m.queue <- j
+	m.mu.Unlock()
+	m.metrics.WatchdogRequeues.Add(1)
+	m.metrics.JobRestarts.Add(1)
+	j.rec.Record(obs.EvWatchdogRequeue, resumeStep, 0, fmt.Sprintf("restart %d", restarts))
+	j.log.Warn("watchdog re-queued stuck job", "restarts", restarts, "resume_step", resumeStep)
+	m.persistStateAsync(j)
+	return true
+}
+
+// watchdog periodically sweeps running jobs for step progress: a job
+// whose step counter has not moved across a full window takes a strike
+// (event + metric); wdStrikes consecutive strikes force a quit+requeue.
+// Detection covers solvers that still poll steering (a livelocked
+// kernel that also stops polling can be flagged but not unwound —
+// that containment lives in the panic quarantine).
+func (m *Manager) watchdog() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.wdStall)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-t.C:
+		}
+		m.mu.Lock()
+		jobs := make([]*Job, 0, len(m.jobs))
+		for _, id := range m.order {
+			jobs = append(jobs, m.jobs[id])
+		}
+		m.mu.Unlock()
+		for _, j := range jobs {
+			cur := j.step.Load()
+			j.mu.Lock()
+			if j.state != StateRunning {
+				// Paused, queued and terminal jobs are not expected to
+				// step; re-prime so the next running window starts fresh.
+				j.wdSeen = false
+				j.wdStrikes = 0
+				j.mu.Unlock()
+				continue
+			}
+			if !j.wdSeen || cur != j.wdLastStep {
+				j.wdSeen = true
+				j.wdLastStep = cur
+				j.wdStrikes = 0
+				j.mu.Unlock()
+				continue
+			}
+			j.wdStrikes++
+			strikes := j.wdStrikes
+			quit := m.wdStrikes > 0 && strikes >= m.wdStrikes && !j.watchdogRequeue
+			if quit {
+				j.watchdogRequeue = true
+			}
+			j.mu.Unlock()
+			m.metrics.WatchdogStalls.Add(1)
+			j.rec.Record(obs.EvWatchdogStall, int(cur), 0, fmt.Sprintf("strike %d", strikes))
+			j.log.Warn("watchdog: no step progress", "step", cur, "strike", strikes)
+			if quit {
+				// Quit rides the steering path; the run's finish sees the
+				// watchdogRequeue mark and re-queues instead of completing.
+				// Async: a solver that stopped polling would block Do.
+				go j.ctrl.Do(steering.ClientMsg{Op: steering.OpQuit})
+			}
+		}
+	}
+}
+
+// gcLoop periodically prunes terminal jobs beyond the retention policy
+// (count cap, age cap) from both the job table and the store.
+func (m *Manager) gcLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.gcInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-t.C:
+		}
+		m.gcTerminal()
+	}
+}
+
+// gcTerminal applies the retention policy once: terminal jobs older
+// than retainAge go, then the oldest-finished beyond retainMax.
+func (m *Manager) gcTerminal() {
+	type doneJob struct {
+		j        *Job
+		finished time.Time
+	}
+	m.mu.Lock()
+	var terminal []doneJob
+	for _, id := range m.order {
+		j := m.jobs[id]
+		j.mu.Lock()
+		if j.state.Terminal() && !j.shutdownCancel {
+			terminal = append(terminal, doneJob{j, j.finished})
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	sort.Slice(terminal, func(a, b int) bool {
+		return terminal[a].finished.Before(terminal[b].finished)
+	})
+	var victims []*Job
+	if m.retainAge > 0 {
+		cutoff := time.Now().Add(-m.retainAge)
+		for _, d := range terminal {
+			if d.finished.Before(cutoff) {
+				victims = append(victims, d.j)
+			}
+		}
+	}
+	if m.retainMax > 0 && len(terminal)-len(victims) > m.retainMax {
+		// victims is a prefix of terminal (both oldest-first), so extend
+		// it until the survivors fit the cap.
+		for _, d := range terminal[len(victims):] {
+			if len(terminal)-len(victims) <= m.retainMax {
+				break
+			}
+			victims = append(victims, d.j)
+		}
+	}
+	for _, j := range victims {
+		if err := m.store.Remove(j.ID); err != nil {
+			m.metrics.StoreErrors.Add(1)
+			j.log.Warn("retention sweep: removing job failed", "err", err)
+			continue
+		}
+		m.mu.Lock()
+		delete(m.jobs, j.ID)
+		for i, id := range m.order {
+			if id == j.ID {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+		m.cache.InvalidateJob(j.ID)
+		m.metrics.JobsGCed.Add(1)
+		j.log.Info("retention sweep removed terminal job")
+	}
 }
 
 // do round-trips a steering op against a live job.
@@ -1282,6 +1815,7 @@ func (m *Manager) cancel(j *Job, user bool) error {
 		j.ctrl.Close()
 		j.sealSnapshots()
 		m.cache.InvalidateJob(j.ID)
+		m.tenants.release(j.tenant)
 		return nil
 	default:
 		j.cancelRequested = true
@@ -1296,7 +1830,9 @@ func (m *Manager) cancel(j *Job, user bool) error {
 }
 
 // Steer applies a parameter change (set-iolet or set-roi) to a live
-// job over its controller.
+// job over its controller. Applied commands are mirrored into the
+// job's persisted steering record, so a daemon restart re-applies the
+// operator's boundary tweaks and view instead of quietly losing them.
 func (m *Manager) Steer(j *Job, msg steering.ClientMsg) error {
 	if msg.Op != steering.OpSetIolet && msg.Op != steering.OpSetROI {
 		return fmt.Errorf("service: steer accepts %s or %s, got %q",
@@ -1304,7 +1840,33 @@ func (m *Manager) Steer(j *Job, msg steering.ClientMsg) error {
 	}
 	m.metrics.SteerOps.Add(1)
 	_, err := m.do(j, msg)
-	return err
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if msg.Op == steering.OpSetROI {
+		j.steer.ROISet = true
+		j.steer.ROIMin = msg.ROIMin
+		j.steer.ROIMax = msg.ROIMax
+		j.steer.Detail = msg.Detail
+		j.steer.Context = msg.Context
+	} else {
+		// Latest density wins per iolet index.
+		updated := false
+		for i := range j.steer.Iolets {
+			if j.steer.Iolets[i].Iolet == msg.Iolet {
+				j.steer.Iolets[i].Density = msg.Density
+				updated = true
+				break
+			}
+		}
+		if !updated {
+			j.steer.Iolets = append(j.steer.Iolets, store.IoletOver{Iolet: msg.Iolet, Density: msg.Density})
+		}
+	}
+	j.mu.Unlock()
+	m.persistStateAsync(j)
+	return nil
 }
 
 // Status fetches the live steering status report of a running job.
@@ -1441,8 +2003,12 @@ func (m *Manager) Close() {
 		j.mu.Unlock()
 		_ = m.cancel(j, false)
 	}
+	close(m.done)
 	m.wg.Wait()
 	m.pool.Close()
+	if m.degrader != nil {
+		m.degrader.Close()
+	}
 	if m.store != nil {
 		// After every run (and its journal writes) has finished: stop the
 		// group-commit goroutine. Acknowledged records are durable; the

@@ -95,6 +95,33 @@ type Metrics struct {
 	// ratio is the realized batch size (the fsync amortization factor).
 	JournalGroupCommits       atomic.Int64
 	JournalGroupCommitRecords atomic.Int64
+	// Fault-containment counters. JobsPanicked counts solver panics
+	// quarantined to their own job (the daemon kept serving);
+	// WatchdogStalls counts stall windows the stuck-job watchdog
+	// flagged; WatchdogRequeues counts jobs it force-requeued.
+	JobsPanicked     atomic.Int64
+	WatchdogStalls   atomic.Int64
+	WatchdogRequeues atomic.Int64
+	// Disk-pressure degradation. StoreDegraded is a gauge (1 while
+	// durability is suspended); StoreDegradedTotal counts episodes;
+	// StoreWritesSuppressed counts journal/state writes skipped while
+	// degraded; CheckpointsSkippedDegraded the checkpoint writes the
+	// writer dropped for the same reason; JobsGCed counts terminal jobs
+	// removed by the retention sweeper.
+	StoreDegraded              atomic.Int64
+	StoreDegradedTotal         atomic.Int64
+	StoreWritesSuppressed      atomic.Int64
+	CheckpointsSkippedDegraded atomic.Int64
+	JobsGCed                   atomic.Int64
+	// Admission control. AuthFailures counts requests refused for a
+	// missing/unknown API key; SubmitsQuotaRejected submits refused by
+	// a tenant's concurrent-job quota; SubmitsRateLimited submits
+	// refused by a tenant's token bucket; SubmitsShed submits refused
+	// by the global queue/memory overload watermark.
+	AuthFailures         atomic.Int64
+	SubmitsQuotaRejected atomic.Int64
+	SubmitsRateLimited   atomic.Int64
+	SubmitsShed          atomic.Int64
 
 	// Latency histograms (log-bucketed, nanosecond samples). The solver
 	// phase histograms fold rank-0 timings from every running job:
@@ -173,6 +200,18 @@ func (m *Metrics) rows() []counterRow {
 		{"hemeserved_checkpoint_dirty_ratio_permille", m.CheckpointDirtyRatioPermille.Load(), "gauge", "Dirty site-tile ratio of the last checkpoint write, in thousandths."},
 		{"hemeserved_journal_group_commits_total", m.JournalGroupCommits.Load(), "counter", "Journal group-commit fsync batches."},
 		{"hemeserved_journal_group_commit_records_total", m.JournalGroupCommitRecords.Load(), "counter", "Records across journal group-commit batches."},
+		{"hemeserved_jobs_panicked_total", m.JobsPanicked.Load(), "counter", "Solver panics quarantined to their own job."},
+		{"hemeserved_watchdog_stalls_total", m.WatchdogStalls.Load(), "counter", "Stall windows flagged by the stuck-job watchdog."},
+		{"hemeserved_watchdog_requeues_total", m.WatchdogRequeues.Load(), "counter", "Jobs force-requeued by the stuck-job watchdog."},
+		{"hemeserved_store_degraded", m.StoreDegraded.Load(), "gauge", "1 while durability is suspended under disk pressure."},
+		{"hemeserved_store_degraded_total", m.StoreDegradedTotal.Load(), "counter", "Disk-pressure degradation episodes."},
+		{"hemeserved_store_writes_suppressed_total", m.StoreWritesSuppressed.Load(), "counter", "Journal/state writes skipped while degraded."},
+		{"hemeserved_checkpoints_skipped_degraded_total", m.CheckpointsSkippedDegraded.Load(), "counter", "Checkpoint writes dropped while durability was degraded."},
+		{"hemeserved_jobs_gced_total", m.JobsGCed.Load(), "counter", "Terminal jobs removed by the retention sweeper."},
+		{"hemeserved_auth_failures_total", m.AuthFailures.Load(), "counter", "Requests refused for a missing or unknown API key."},
+		{"hemeserved_submits_quota_rejected_total", m.SubmitsQuotaRejected.Load(), "counter", "Submits refused by a tenant's concurrent-job quota."},
+		{"hemeserved_submits_rate_limited_total", m.SubmitsRateLimited.Load(), "counter", "Submits refused by a tenant's token-bucket rate limit."},
+		{"hemeserved_submits_shed_total", m.SubmitsShed.Load(), "counter", "Submits shed by the queue/memory overload watermark."},
 	}
 }
 

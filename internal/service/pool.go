@@ -1,11 +1,13 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/insitu"
 	"repro/internal/render"
 )
@@ -103,16 +105,31 @@ func (p *RenderPool) worker() {
 	}
 }
 
-func (p *RenderPool) render(t renderTask) renderResult {
-	img, err := insitu.RenderField(t.snap.Field, t.req)
+// render runs one task under a recover wrapper: a panicking renderer
+// (degenerate view, snapshot-shape bug) fails that one frame request
+// with an error instead of killing the worker — and with it, every
+// future frame of every job.
+func (p *RenderPool) render(t renderTask) (res renderResult) {
+	err := guard.Capture("render", func() error {
+		img, err := insitu.RenderField(t.snap.Field, t.req)
+		if err != nil {
+			return err
+		}
+		png, err := render.EncodePNGBytes(img)
+		if err != nil {
+			return err
+		}
+		res = renderResult{png: png, w: img.W, h: img.H}
+		return nil
+	})
 	if err != nil {
+		var pe *guard.PanicError
+		if errors.As(err, &pe) {
+			err = fmt.Errorf("%w: render panicked: %v", ErrInternal, pe.Value)
+		}
 		return renderResult{err: err}
 	}
-	png, err := render.EncodePNGBytes(img)
-	if err != nil {
-		return renderResult{err: err}
-	}
-	return renderResult{png: png, w: img.W, h: img.H}
+	return res
 }
 
 // Close stops the workers; queued tasks are abandoned and their

@@ -151,6 +151,14 @@ func (s *Store) SetGroupCommitObserver(fn func(records int)) {
 	s.groupObs = fn
 }
 
+// SetWriteFailureObserver registers a callback invoked with write
+// errors nobody else will see — a group commit whose batch held only
+// no-wait records has no caller to return the error to. Call before
+// the store is shared.
+func (s *Store) SetWriteFailureObserver(fn func(err error)) {
+	s.writeErr = fn
+}
+
 // run is the commit goroutine: drain everything queued, write it as one
 // append, fsync once, wake every waiter.
 func (j *journal) run(s *Store) {
@@ -209,6 +217,11 @@ func (j *journal) commit(s *Store) {
 		err = serr
 	} else {
 		j.dirty = false
+	}
+	if err != nil && !hasWaiter && s.writeErr != nil {
+		// All-no-wait batch: no caller will ever see this error, so the
+		// observer (disk-pressure degrader) is the only escalation path.
+		s.writeErr(err)
 	}
 	for _, r := range batch {
 		if r.done == nil {

@@ -65,6 +65,36 @@ type JobRecord struct {
 	CreatedAt  time.Time `json:"created_at"`
 	StartedAt  time.Time `json:"started_at,omitempty"`
 	FinishedAt time.Time `json:"finished_at,omitempty"`
+	// Tenant is the admission-control account the job is charged to, so
+	// a restart keeps quota accounting honest.
+	Tenant string `json:"tenant,omitempty"`
+	// Paused records that the job was paused by steering when this
+	// state was written; recovery resumes such a job *as paused* rather
+	// than silently letting it run.
+	Paused bool `json:"paused,omitempty"`
+	// Steer carries steering state that must survive a restart (the
+	// checkpoint holds solver state; this holds operator intent).
+	Steer *SteerRecord `json:"steer,omitempty"`
+}
+
+// SteerRecord is the persisted slice of steering state: the last
+// applied region-of-interest and the set-iolet overrides issued since
+// submit. It is written alongside lifecycle transitions so a recovered
+// job re-applies the operator's view and boundary tweaks.
+type SteerRecord struct {
+	ROISet  bool        `json:"roi_set,omitempty"`
+	ROIMin  [3]float64  `json:"roi_min,omitempty"`
+	ROIMax  [3]float64  `json:"roi_max,omitempty"`
+	Detail  int         `json:"detail,omitempty"`
+	Context int         `json:"context,omitempty"`
+	Iolets  []IoletOver `json:"iolets,omitempty"`
+}
+
+// IoletOver is one persisted set-iolet command (latest density wins
+// per iolet index).
+type IoletOver struct {
+	Iolet   int     `json:"iolet"`
+	Density float64 `json:"density"`
 }
 
 // Store persists job specs, lifecycle records and checkpoints under
@@ -99,6 +129,10 @@ type Store struct {
 	jnStuck bool
 	// groupObs, when set, observes every group commit's batch size.
 	groupObs func(records int)
+	// writeErr, when set, observes write failures the store would
+	// otherwise swallow (all-no-wait group commits have nobody waiting
+	// on the error) so disk-pressure detection sees them too.
+	writeErr func(err error)
 }
 
 // Open creates (if needed) and returns a store rooted at dir on the
@@ -138,6 +172,13 @@ func (s *Store) sweepTemps(id string) {
 	if err != nil {
 		return
 	}
+	if id == "*" {
+		// Disk probes (ProbeWrite) live directly under jobs/; a crash
+		// mid-probe leaves one behind just like a crashed atomic write.
+		if probes, err := s.fs.Glob(filepath.Join(s.root, "jobs", "*.tmp-*")); err == nil {
+			stale = append(stale, probes...)
+		}
+	}
 	for _, path := range stale {
 		if err := s.fs.Remove(path); err == nil {
 			s.log.Warn("swept orphan temp file", "path", path)
@@ -169,6 +210,37 @@ func (s *Store) Freeze() {
 
 func (s *Store) jobDir(id string) string {
 	return filepath.Join(s.root, "jobs", id)
+}
+
+// ProbeWrite checks whether the store's filesystem currently accepts
+// writes: it creates a tiny temp file under the jobs directory, writes
+// and syncs it, and removes it again. The disk-pressure degrader uses
+// this to decide when durability can be re-enabled after an ENOSPC
+// episode. The temp name matches the sweepTemps pattern, so a probe
+// interrupted by a crash is cleaned up at the next boot like any other
+// orphan.
+func (s *Store) ProbeWrite() error {
+	dir := filepath.Join(s.root, "jobs")
+	f, err := s.fs.CreateTemp(dir, "probe.tmp-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	if _, err := f.Write([]byte("probe\n")); err != nil {
+		f.Close()
+		s.fs.Remove(name)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		s.fs.Remove(name)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		s.fs.Remove(name)
+		return err
+	}
+	return s.fs.Remove(name)
 }
 
 // Jobs lists the IDs present in the store, sorted — directory entries
